@@ -1,0 +1,108 @@
+// Command datagen emits synthetic datasets in the schemas of the paper's
+// three evaluation corpora (MovieLens ratings, Airbnb listings, Avazu
+// impressions) so the experiment pipelines can be exercised, inspected,
+// or replayed with real files later.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"datamarket/internal/dataset"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "data", "output directory")
+		which    = flag.String("dataset", "all", "dataset to generate (movielens|airbnb|avazu|all)")
+		users    = flag.Int("users", 1000, "MovieLens: number of users")
+		listings = flag.Int("listings", 5000, "Airbnb: number of listings")
+		imps     = flag.Int("impressions", 20000, "Avazu: number of impressions")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	if err := run(*out, *which, *users, *listings, *imps, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, which string, users, listings, imps int, seed uint64) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	all := which == "all"
+	ran := false
+	if all || which == "movielens" {
+		ran = true
+		ratings, err := dataset.GenerateRatings(dataset.MovieLensConfig{
+			Users: users, Movies: 2000, RatingsPerUser: 30, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		if err := writeFile(filepath.Join(out, "ratings.csv"), func(f *os.File) error {
+			return dataset.WriteRatings(f, ratings)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d ratings from %d users)\n",
+			filepath.Join(out, "ratings.csv"), len(ratings), users)
+	}
+	if all || which == "airbnb" {
+		ran = true
+		ls, _, _, err := dataset.GenerateListings(dataset.AirbnbConfig{
+			Count: listings, Seed: seed, NoiseStd: 0.475,
+		})
+		if err != nil {
+			return err
+		}
+		if err := writeFile(filepath.Join(out, "listings.csv"), func(f *os.File) error {
+			return dataset.WriteListings(f, ls)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d listings)\n", filepath.Join(out, "listings.csv"), len(ls))
+	}
+	if all || which == "avazu" {
+		ran = true
+		stream, err := dataset.NewAvazuStream(dataset.AvazuConfig{
+			Count: imps, HashDim: 128, ActiveWeights: 21, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		rows, _ := stream.GenerateAll()
+		if err := writeFile(filepath.Join(out, "impressions.csv"), func(f *os.File) error {
+			return dataset.WriteImpressions(f, rows)
+		}); err != nil {
+			return err
+		}
+		clicks := 0
+		for _, im := range rows {
+			if im.Click {
+				clicks++
+			}
+		}
+		fmt.Printf("wrote %s (%d impressions, CTR %.3f)\n",
+			filepath.Join(out, "impressions.csv"), len(rows), float64(clicks)/float64(len(rows)))
+	}
+	if !ran {
+		return fmt.Errorf("unknown dataset %q", which)
+	}
+	return nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

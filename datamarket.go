@@ -1,0 +1,152 @@
+// Package datamarket is a from-scratch Go implementation of "Online
+// Pricing with Reserve Price Constraint for Personal Data Markets"
+// (Niu, Zheng, Wu, Tang, Chen — ICDE 2020): an ellipsoid-based contextual
+// dynamic pricing mechanism that lets a data broker post prices for
+// sequential customized queries, subject to the reserve price implied by
+// the privacy compensations owed to data owners.
+//
+// The facade re-exports the library's primary surface:
+//
+//   - the posted-price mechanisms (Algorithms 1/1*/2/2*, the 1-D interval
+//     special case, the nonlinear g∘φ extensions, and the baselines);
+//   - the data market substrate (owners, broker, consumers, differential
+//     privacy compensation accounting);
+//   - the regret bookkeeping used throughout the paper's evaluation.
+//
+// A minimal pricing loop:
+//
+//	m, _ := datamarket.NewMechanism(20, 2*math.Sqrt(20),
+//	        datamarket.WithReserve(),
+//	        datamarket.WithThreshold(datamarket.DefaultThreshold(20, 10000, 0)))
+//	for _, q := range queries {
+//	        quote, _ := m.PostPrice(q.Features, q.Reserve)
+//	        if quote.Decision != datamarket.DecisionSkip {
+//	                m.Observe(buyerAccepts(quote.Price))
+//	        }
+//	}
+//
+// The sub-packages under internal/ contain the full implementation; the
+// examples/ directory shows the three applications of the paper's
+// evaluation (noisy linear queries, accommodation rental, ad impressions)
+// plus the loan scenario of §IV-B.
+package datamarket
+
+import (
+	"datamarket/internal/linalg"
+	"datamarket/internal/market"
+	"datamarket/internal/pricing"
+)
+
+// Vector is the dense vector type used for features and weights.
+type Vector = linalg.Vector
+
+// Mechanism is the ellipsoid-based posted price mechanism (Algorithm 1/2).
+type Mechanism = pricing.Mechanism
+
+// IntervalMechanism is the one-dimensional special case (§II-C).
+type IntervalMechanism = pricing.IntervalMechanism
+
+// NonlinearMechanism prices under the generalized model v = g(φ(x)ᵀθ*).
+type NonlinearMechanism = pricing.NonlinearMechanism
+
+// Quote is the broker's per-round output.
+type Quote = pricing.Quote
+
+// Decision classifies a quote (skip, exploratory, conservative).
+type Decision = pricing.Decision
+
+// Decision values.
+const (
+	DecisionSkip         = pricing.DecisionSkip
+	DecisionExploratory  = pricing.DecisionExploratory
+	DecisionConservative = pricing.DecisionConservative
+)
+
+// Option configures a mechanism.
+type Option = pricing.Option
+
+// Model bundles the link g and feature map φ of a market value family.
+type Model = pricing.Model
+
+// Poster is the interface satisfied by every pricing strategy.
+type Poster = pricing.Poster
+
+// Tracker accumulates regret series and Table I statistics.
+type Tracker = pricing.Tracker
+
+// Counters aggregates per-round mechanism bookkeeping.
+type Counters = pricing.Counters
+
+// Broker runs the end-to-end personal data market (Fig. 2).
+type Broker = market.Broker
+
+// BrokerConfig configures a Broker.
+type BrokerConfig = market.Config
+
+// Owner is a data owner in the market.
+type Owner = market.Owner
+
+// Query is a consumer's priced request.
+type Query = market.Query
+
+// Transaction is one ledger row of the market.
+type Transaction = market.Transaction
+
+// NewMechanism builds the ellipsoid mechanism for n-dimensional features
+// with initial knowledge ‖θ*‖ ≤ radius.
+func NewMechanism(n int, radius float64, opts ...Option) (*Mechanism, error) {
+	return pricing.New(n, radius, opts...)
+}
+
+// NewIntervalMechanism builds the 1-D mechanism with θ* ∈ [lo, hi].
+func NewIntervalMechanism(lo, hi float64, opts ...Option) (*IntervalMechanism, error) {
+	return pricing.NewInterval(lo, hi, opts...)
+}
+
+// NewNonlinearMechanism builds a mechanism for the model v = g(φ(x)ᵀθ*).
+func NewNonlinearMechanism(model Model, dim int, radius float64, opts ...Option) (*NonlinearMechanism, error) {
+	return pricing.NewNonlinear(model, dim, radius, opts...)
+}
+
+// NewBroker builds the end-to-end data market broker.
+func NewBroker(cfg BrokerConfig) (*Broker, error) { return market.NewBroker(cfg) }
+
+// NewTracker builds a regret tracker; keepRecords retains per-round rows.
+func NewTracker(keepRecords bool) *Tracker { return pricing.NewTracker(keepRecords) }
+
+// WithReserve enables the reserve price constraint (Algorithms 1 and 2).
+func WithReserve() Option { return pricing.WithReserve() }
+
+// WithUncertainty sets the robustness buffer δ (Algorithm 2).
+func WithUncertainty(delta float64) Option { return pricing.WithUncertainty(delta) }
+
+// WithThreshold overrides the exploration threshold ε.
+func WithThreshold(eps float64) Option { return pricing.WithThreshold(eps) }
+
+// DefaultThreshold returns the Theorem 1/Theorem 3 ε schedule.
+func DefaultThreshold(n, horizon int, delta float64) float64 {
+	return pricing.DefaultThreshold(n, horizon, delta)
+}
+
+// LinearModel is v = xᵀθ*.
+func LinearModel() Model { return pricing.LinearModel() }
+
+// LogLinearModel is log v = xᵀθ* (hedonic pricing).
+func LogLinearModel() Model { return pricing.LogLinearModel() }
+
+// LogLogModel is log v = Σ log(xᵢ)θᵢ*.
+func LogLogModel() Model { return pricing.LogLogModel() }
+
+// LogisticModel is v = sigmoid(xᵀθ*) (CTR pricing).
+func LogisticModel() Model { return pricing.LogisticModel() }
+
+// NewRiskAverse returns the always-post-reserve baseline of §V.
+func NewRiskAverse() *pricing.RiskAverseBaseline { return pricing.NewRiskAverse() }
+
+// SingleRoundRegret evaluates the paper's regret function (Eq. 1).
+func SingleRoundRegret(value, reserve, posted float64) float64 {
+	return pricing.SingleRoundRegret(value, reserve, posted)
+}
+
+// Sold reports whether a posted price sells against a market value.
+func Sold(price, value float64) bool { return pricing.Sold(price, value) }

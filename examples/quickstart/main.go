@@ -1,0 +1,74 @@
+// Quickstart: price a stream of differentiated products with the
+// reserve-constrained ellipsoid mechanism and watch the regret ratio
+// fall as the broker learns the hidden market value model.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"datamarket"
+	"datamarket/internal/randx"
+)
+
+func main() {
+	const (
+		n    = 12    // feature dimension
+		T    = 20000 // pricing rounds
+		seed = 7
+	)
+
+	// The broker knows only that ‖θ*‖ ≤ R; everything else is learned
+	// from accept/reject feedback.
+	R := 2 * math.Sqrt(float64(n))
+	mech, err := datamarket.NewMechanism(n, R,
+		datamarket.WithReserve(),
+		datamarket.WithThreshold(datamarket.DefaultThreshold(n, T, 0)))
+	if err != nil {
+		panic(err)
+	}
+
+	// Hidden ground truth for the demo: a positive weight vector.
+	rng := randx.New(seed)
+	theta := rng.NormalVector(n, 1)
+	for i := range theta {
+		theta[i] = math.Abs(theta[i])
+	}
+	theta.Normalize()
+	theta.Scale(math.Sqrt(2 * float64(n)))
+
+	tracker := datamarket.NewTracker(false)
+	for t := 1; t <= T; t++ {
+		// Each round: a product arrives with positive unit features and a
+		// seller-imposed reserve price below its market value.
+		x := rng.OnSphere(n)
+		for i := range x {
+			x[i] = math.Abs(x[i])
+		}
+		value := x.Dot(theta)
+		reserve := 0.75 * value
+
+		quote, err := mech.PostPrice(x, reserve)
+		if err != nil {
+			panic(err)
+		}
+		if quote.Decision != datamarket.DecisionSkip {
+			// The buyer accepts iff the price is at most her valuation —
+			// the only feedback the broker ever sees.
+			if err := mech.Observe(datamarket.Sold(quote.Price, value)); err != nil {
+				panic(err)
+			}
+		}
+		tracker.Record(value, reserve, quote)
+
+		if t == 10 || t == 100 || t == 1000 || t == T {
+			fmt.Printf("after %6d rounds: cumulative regret %8.2f, regret ratio %6.2f%%\n",
+				t, tracker.CumulativeRegret(), 100*tracker.RegretRatio())
+		}
+	}
+
+	c := mech.Counters()
+	fmt.Printf("\nexploratory rounds: %d, conservative rounds: %d, ellipsoid cuts: %d\n",
+		c.Exploratory, c.Conservative, c.CutsApplied)
+	fmt.Printf("total revenue earned: %.2f\n", tracker.CumulativeRevenue())
+}

@@ -1,0 +1,91 @@
+// Package dataset provides the three dataset substrates of the paper's
+// evaluation: MovieLens-style rating corpora (§V-A), Airbnb-style listing
+// tables (§V-B), and Avazu-style ad impression logs (§V-C). For each, the
+// package ships a parser for the real file's schema *and* a statistically
+// matched synthetic generator, because the real datasets cannot ship with
+// an offline module (the substitutions are documented in DESIGN.md §3).
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvTable is a small helper around encoding/csv that reads a headered
+// table and resolves columns by name.
+type csvTable struct {
+	header map[string]int
+	reader *csv.Reader
+}
+
+// newCSVTable reads the header row and prepares column lookup.
+func newCSVTable(r io.Reader) (*csvTable, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	head, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	idx := make(map[string]int, len(head))
+	for i, name := range head {
+		idx[name] = i
+	}
+	return &csvTable{header: idx, reader: cr}, nil
+}
+
+// require returns the column indices for the names, failing on any miss.
+func (t *csvTable) require(names ...string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		j, ok := t.header[n]
+		if !ok {
+			return nil, fmt.Errorf("dataset: CSV is missing required column %q", n)
+		}
+		out[i] = j
+	}
+	return out, nil
+}
+
+// next reads one record; io.EOF signals the clean end of the table.
+func (t *csvTable) next() ([]string, error) {
+	return t.reader.Read()
+}
+
+// parseFloat converts a CSV cell into a float64 with a helpful error.
+func parseFloat(cell, column string, line int) (float64, error) {
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		return 0, fmt.Errorf("dataset: line %d column %s: bad number %q", line, column, cell)
+	}
+	return v, nil
+}
+
+// parseInt converts a CSV cell into an int64 with a helpful error.
+func parseInt(cell, column string, line int) (int64, error) {
+	v, err := strconv.ParseInt(cell, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("dataset: line %d column %s: bad integer %q", line, column, cell)
+	}
+	return v, nil
+}
+
+// writeCSV writes a headered table; used by cmd/datagen and round-trip
+// tests.
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	for i, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("dataset: row %d has %d cells, want %d", i, len(row), len(header))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,329 @@
+// Package ellipsoid implements the geometric machinery behind the paper's
+// pricing mechanism: the ellipsoid knowledge set E = {θ : (θ−c)ᵀA⁻¹(θ−c) ≤ 1}
+// and its Löwner-John updates after central, deep, and shallow cuts.
+//
+// The pricing algorithms only ever touch the ellipsoid through three
+// operations, all O(n²):
+//
+//   - Support(x): the interval [min_{θ∈E} xᵀθ, max_{θ∈E} xᵀθ] bounding a
+//     query's market value (lines 5–7 of Algorithm 1);
+//   - Cut(a, β, α): replace E ∩ {θ : aᵀθ ≤ β} by its minimum-volume
+//     enclosing ellipsoid (lines 15–21);
+//   - size probes (volume, widths) used by the regret analysis and tests.
+package ellipsoid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"datamarket/internal/linalg"
+	"datamarket/internal/randx"
+)
+
+// minProbe floors √(xᵀAx) to keep the cut geometry well-defined when the
+// ellipsoid has collapsed along the probe direction.
+const minProbe = 1e-150
+
+// ErrDegenerate is reported when the ellipsoid has numerically collapsed.
+var ErrDegenerate = errors.New("ellipsoid: degenerate shape matrix")
+
+// E is an n-dimensional ellipsoid {θ : (θ−c)ᵀ A⁻¹ (θ−c) ≤ 1} stored by its
+// shape matrix A (symmetric positive definite) and center c.
+type E struct {
+	n int
+	a *linalg.Matrix
+	c linalg.Vector
+}
+
+// NewBall returns the ball of the given radius centered at the origin —
+// the initial knowledge set E₁ of the mechanism, with A₁ = R²·I, c₁ = 0.
+func NewBall(n int, radius float64) (*E, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ellipsoid: dimension must be positive, got %d", n)
+	}
+	if radius <= 0 {
+		return nil, fmt.Errorf("ellipsoid: radius must be positive, got %g", radius)
+	}
+	return &E{
+		n: n,
+		a: linalg.ScaledIdentity(n, radius*radius),
+		c: linalg.NewVector(n),
+	}, nil
+}
+
+// New builds an ellipsoid from an explicit shape matrix and center. The
+// shape must be symmetric positive definite.
+func New(shape *linalg.Matrix, center linalg.Vector) (*E, error) {
+	n := len(center)
+	if shape.Rows() != n || shape.Cols() != n {
+		return nil, fmt.Errorf("ellipsoid: shape %dx%d does not match center length %d",
+			shape.Rows(), shape.Cols(), n)
+	}
+	if !shape.IsSymmetric(1e-8 * math.Max(1, shape.MaxAbs())) {
+		return nil, fmt.Errorf("ellipsoid: shape matrix is not symmetric")
+	}
+	if !linalg.IsPositiveDefinite(shape) {
+		return nil, fmt.Errorf("ellipsoid: shape matrix is not positive definite")
+	}
+	e := &E{n: n, a: shape.Clone(), c: center.Clone()}
+	e.a.Symmetrize()
+	return e, nil
+}
+
+// FromBox returns the ball enclosing the axis-aligned box Π[lo_i, hi_i]:
+// centered at the origin with radius √Σ max(lo², hi²), matching the paper's
+// initialization R = √Σ max(ℓᵢ², uᵢ²).
+func FromBox(lo, hi linalg.Vector) (*E, error) {
+	if len(lo) != len(hi) {
+		return nil, fmt.Errorf("ellipsoid: box bounds length mismatch %d vs %d", len(lo), len(hi))
+	}
+	var sum float64
+	for i := range lo {
+		if lo[i] > hi[i] {
+			return nil, fmt.Errorf("ellipsoid: box bound %d inverted (%g > %g)", i, lo[i], hi[i])
+		}
+		sum += math.Max(lo[i]*lo[i], hi[i]*hi[i])
+	}
+	return NewBall(len(lo), math.Sqrt(sum))
+}
+
+// Dim returns the ambient dimension n.
+func (e *E) Dim() int { return e.n }
+
+// Center returns a copy of the center c.
+func (e *E) Center() linalg.Vector { return e.c.Clone() }
+
+// Shape returns a copy of the shape matrix A.
+func (e *E) Shape() *linalg.Matrix { return e.a.Clone() }
+
+// Clone returns a deep copy of e.
+func (e *E) Clone() *E {
+	return &E{n: e.n, a: e.a.Clone(), c: e.c.Clone()}
+}
+
+// Contains reports whether θ lies in the ellipsoid, within slack tol on the
+// quadratic form (tol = 0 for exact membership).
+func (e *E) Contains(theta linalg.Vector, tol float64) bool {
+	inv, err := linalg.InverseSPD(e.a)
+	if err != nil {
+		return false
+	}
+	d := theta.Sub(e.c)
+	return inv.QuadForm(d) <= 1+tol
+}
+
+// Support returns (lo, hi) = (min, max) of xᵀθ over θ ∈ E:
+// hi = xᵀc + √(xᵀAx), lo = xᵀc − √(xᵀAx). This is the market-value
+// interval [p̲, p̄] of the pricing mechanism.
+func (e *E) Support(x linalg.Vector) (lo, hi float64) {
+	mid := e.c.Dot(x)
+	half := math.Sqrt(math.Max(0, e.a.QuadForm(x)))
+	return mid - half, mid + half
+}
+
+// Width returns the width of E along direction x: p̄ − p̲ = 2√(xᵀAx).
+func (e *E) Width(x linalg.Vector) float64 {
+	return 2 * math.Sqrt(math.Max(0, e.a.QuadForm(x)))
+}
+
+// CutResult describes the outcome of a Cut call.
+type CutResult int
+
+const (
+	// CutApplied means the ellipsoid was replaced by the Löwner-John
+	// ellipsoid of its intersection with the halfspace.
+	CutApplied CutResult = iota
+	// CutTooShallow means α ≤ −1/n: the halfspace removes so little that
+	// the minimum-volume enclosing ellipsoid is E itself; E is unchanged.
+	CutTooShallow
+	// CutInfeasible means α ≥ 1: the halfspace misses the ellipsoid
+	// entirely; E is left unchanged and the caller should treat the
+	// feedback as inconsistent (in the pricing setting this cannot occur
+	// while θ* ∈ E and the uncertainty buffer holds).
+	CutInfeasible
+	// CutDegenerate means the probe direction has collapsed numerically;
+	// E is unchanged.
+	CutDegenerate
+)
+
+// String renders the CutResult for diagnostics.
+func (r CutResult) String() string {
+	switch r {
+	case CutApplied:
+		return "applied"
+	case CutTooShallow:
+		return "too-shallow"
+	case CutInfeasible:
+		return "infeasible"
+	case CutDegenerate:
+		return "degenerate"
+	default:
+		return fmt.Sprintf("CutResult(%d)", int(r))
+	}
+}
+
+// Alpha returns the signed position α = (aᵀc − β)/√(aᵀAa) of the cutting
+// hyperplane {θ : aᵀθ = β} in the ‖·‖_{A⁻¹} norm: α = 0 is a central cut
+// through the center, α > 0 a deep cut, α < 0 a shallow cut.
+func (e *E) Alpha(a linalg.Vector, beta float64) (float64, error) {
+	probe := math.Sqrt(math.Max(0, e.a.QuadForm(a)))
+	if probe < minProbe {
+		return 0, ErrDegenerate
+	}
+	return (e.c.Dot(a) - beta) / probe, nil
+}
+
+// Cut replaces E by the Löwner-John (minimum-volume enclosing) ellipsoid of
+// E ∩ {θ : aᵀθ ≤ β}. For cut position α ∈ (−1/n, 1) the standard deep-cut
+// update is applied:
+//
+//	b  = A a / √(aᵀAa)
+//	c' = c − (1+nα)/(n+1) · b
+//	A' = n²(1−α²)/(n²−1) · (A − 2(1+nα)/((n+1)(1+α)) · b bᵀ)
+//
+// which for α = 0 reduces to the textbook central-cut ellipsoid update.
+// n = 1 is handled exactly (the remaining segment's enclosing "ellipsoid"
+// is the segment itself).
+func (e *E) Cut(a linalg.Vector, beta float64) CutResult {
+	if len(a) != e.n {
+		panic(fmt.Sprintf("ellipsoid: Cut direction length %d, want %d", len(a), e.n))
+	}
+	probeSq := e.a.QuadForm(a)
+	probe := math.Sqrt(math.Max(0, probeSq))
+	if probe < minProbe {
+		return CutDegenerate
+	}
+	alpha := (e.c.Dot(a) - beta) / probe
+	n := float64(e.n)
+
+	if alpha >= 1 {
+		return CutInfeasible
+	}
+	if e.n == 1 {
+		return e.cut1D(a[0], beta, alpha)
+	}
+	if alpha <= -1/n {
+		return CutTooShallow
+	}
+
+	// b = A a / probe.
+	b := e.a.MulVec(a)
+	b.Scale(1 / probe)
+
+	tau := (1 + n*alpha) / (n + 1)
+	sigma := n * n * (1 - alpha*alpha) / (n*n - 1)
+	rho := 2 * (1 + n*alpha) / ((n + 1) * (1 + alpha))
+
+	e.c.AddScaled(-tau, b)
+	e.a.AddRankOne(-rho, b, b)
+	e.a.Scale(sigma)
+	e.a.Symmetrize()
+	return CutApplied
+}
+
+// cut1D performs the exact interval update in dimension one. The ellipsoid
+// is the interval [c−r, c+r] with r = √A; intersecting with a halfspace
+// yields a sub-interval whose minimal enclosing "ellipsoid" is itself.
+func (e *E) cut1D(a, beta, alpha float64) CutResult {
+	if alpha <= -1 {
+		return CutTooShallow
+	}
+	r := math.Sqrt(e.a.At(0, 0))
+	lo, hi := e.c[0]-r, e.c[0]+r
+	// Halfspace {θ : aθ ≤ β}.
+	bound := beta / a
+	if a > 0 {
+		hi = math.Min(hi, bound)
+	} else {
+		lo = math.Max(lo, bound)
+	}
+	if hi < lo {
+		return CutInfeasible
+	}
+	newC := (lo + hi) / 2
+	newR := (hi - lo) / 2
+	if newR < minProbe {
+		newR = minProbe
+	}
+	e.c[0] = newC
+	e.a.Set(0, 0, newR*newR)
+	return CutApplied
+}
+
+// Volume returns the n-dimensional volume Vₙ·√det(A), with Vₙ the unit
+// ball volume; prefer LogVolume in high dimension.
+func (e *E) Volume() (float64, error) {
+	lv, err := e.LogVolume()
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp(lv), nil
+}
+
+// LogVolume returns log(Vₙ) + ½·log det(A).
+func (e *E) LogVolume() (float64, error) {
+	f, err := linalg.Cholesky(e.a)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrDegenerate, err)
+	}
+	return logUnitBallVolume(e.n) + 0.5*f.LogDet(), nil
+}
+
+// logUnitBallVolume returns log Vₙ = (n/2)·log π − log Γ(n/2 + 1).
+func logUnitBallVolume(n int) float64 {
+	lg, _ := math.Lgamma(float64(n)/2 + 1)
+	return float64(n)/2*math.Log(math.Pi) - lg
+}
+
+// UnitBallVolume returns Vₙ, exported for tests and diagnostics.
+func UnitBallVolume(n int) float64 { return math.Exp(logUnitBallVolume(n)) }
+
+// Axes returns the semi-axis lengths √γᵢ(A) in descending order along with
+// the corresponding axis directions (columns of the returned matrix).
+func (e *E) Axes() (lengths linalg.Vector, directions *linalg.Matrix, err error) {
+	vals, vecs, err := linalg.EigenSym(e.a)
+	if err != nil {
+		return nil, nil, err
+	}
+	lengths = make(linalg.Vector, e.n)
+	for i, v := range vals {
+		if v < 0 {
+			v = 0
+		}
+		lengths[i] = math.Sqrt(v)
+	}
+	return lengths, vecs, nil
+}
+
+// MinAxis returns the semi-length of the narrowest axis, √γₙ(A).
+func (e *E) MinAxis() (float64, error) {
+	lo, err := linalg.SmallestEigenvalueSym(e.a)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(math.Max(0, lo)), nil
+}
+
+// Sample returns a point uniformly distributed in E, via the affine image
+// x = c + L·u of a uniform unit-ball point u, where A = L·Lᵀ.
+func (e *E) Sample(r *randx.RNG) (linalg.Vector, error) {
+	f, err := linalg.Cholesky(e.a)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDegenerate, err)
+	}
+	u := r.InBall(e.n)
+	x := f.MulVec(u)
+	for i := range x {
+		x[i] += e.c[i]
+	}
+	return x, nil
+}
+
+// IsWellFormed verifies the structural invariants: finite entries,
+// symmetry, and positive definiteness of the shape matrix.
+func (e *E) IsWellFormed() bool {
+	return e.a.IsFinite() && e.c.IsFinite() &&
+		e.a.IsSymmetric(1e-6*math.Max(1, e.a.MaxAbs())) &&
+		linalg.IsPositiveDefinite(e.a)
+}

@@ -1,0 +1,176 @@
+package ellipsoid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"datamarket/internal/linalg"
+	"datamarket/internal/randx"
+)
+
+// propCfg limits quick's search to numerically meaningful inputs.
+var propCfg = &quick.Config{MaxCount: 200}
+
+// Property: for any direction and any feasible cut position, the cut
+// never expels a point that satisfies the halfspace, and the result stays
+// well-formed.
+func TestCutSoundnessProperty(t *testing.T) {
+	f := func(seed uint64, betaRaw float64) bool {
+		r := randx.New(seed)
+		e, err := NewBall(3, 2)
+		if err != nil {
+			return false
+		}
+		// A handful of warm-up cuts to leave the symmetric start state.
+		for i := 0; i < 5; i++ {
+			dir := r.OnSphere(3)
+			lo, hi := e.Support(dir)
+			e.Cut(dir, lo+(hi-lo)*r.Uniform(0.3, 0.9))
+		}
+		// Sample points before the probe cut.
+		pts := make([]linalg.Vector, 0, 20)
+		for len(pts) < 20 {
+			p, err := e.Sample(r)
+			if err != nil {
+				return false
+			}
+			pts = append(pts, p)
+		}
+		dir := r.OnSphere(3)
+		lo, hi := e.Support(dir)
+		// Keep the cut fraction away from the α → 1 extreme, where the
+		// surviving sliver's containment check is dominated by float
+		// round-off relative to its own tiny scale.
+		frac := 0.05 + 0.9*math.Mod(math.Abs(betaRaw), 1)
+		beta := lo + (hi-lo)*frac
+		res := e.Cut(dir, beta)
+		if res == CutApplied && !e.IsWellFormed() {
+			return false
+		}
+		if res != CutApplied {
+			return true
+		}
+		for _, p := range pts {
+			if p.Dot(dir) <= beta && !e.Contains(p, 1e-5) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, propCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Support is consistent with Width and with the center value:
+// hi − lo == Width and (lo+hi)/2 == x·c.
+func TestSupportConsistencyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := randx.New(seed)
+		shape := linalg.NewMatrix(3, 3)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				shape.Set(i, j, r.Normal(0, 1))
+			}
+		}
+		spd := shape.T().Mul(shape)
+		for i := 0; i < 3; i++ {
+			spd.Set(i, i, spd.At(i, i)+0.5)
+		}
+		spd.Symmetrize()
+		c := r.NormalVector(3, 2)
+		e, err := New(spd, c)
+		if err != nil {
+			return false
+		}
+		x := r.OnSphere(3)
+		lo, hi := e.Support(x)
+		if math.Abs((hi-lo)-e.Width(x)) > 1e-9 {
+			return false
+		}
+		return math.Abs((lo+hi)/2-c.Dot(x)) <= 1e-9*math.Max(1, math.Abs(c.Dot(x)))
+	}
+	if err := quick.Check(f, propCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: applied cuts never increase volume, and central cuts satisfy
+// the Lemma 2 bound.
+func TestVolumeMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := randx.New(seed)
+		e, _ := NewBall(4, 1.5)
+		prev, err := e.LogVolume()
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 15; i++ {
+			x := r.OnSphere(4)
+			lo, hi := e.Support(x)
+			beta := lo + (hi-lo)*r.Uniform(0.2, 0.95)
+			res := e.Cut(x, beta)
+			lv, err := e.LogVolume()
+			if err != nil {
+				return false
+			}
+			if res == CutApplied {
+				if lv > prev+1e-9 {
+					return false
+				}
+			} else if math.Abs(lv-prev) > 1e-9 {
+				return false // non-applied cuts must not change the set
+			}
+			prev = lv
+		}
+		return true
+	}
+	if err := quick.Check(f, propCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the 1-D ellipsoid agrees with exact interval intersection.
+func TestOneDimensionalExactnessProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := randx.New(seed)
+		e, _ := NewBall(1, 3)
+		lo, hi := -3.0, 3.0
+		for i := 0; i < 10; i++ {
+			beta := r.Uniform(-4, 4)
+			var dir float64 = 1
+			if r.Bool() {
+				dir = -1
+			}
+			res := e.Cut(linalg.VectorOf(dir), beta)
+			// Mirror with exact interval arithmetic.
+			if dir > 0 {
+				if beta < lo {
+					if res != CutInfeasible {
+						return false
+					}
+				} else if beta < hi {
+					hi = beta
+				}
+			} else {
+				bound := -beta
+				if bound > hi {
+					if res != CutInfeasible {
+						return false
+					}
+				} else if bound > lo {
+					lo = bound
+				}
+			}
+			gotLo, gotHi := e.Support(linalg.VectorOf(1))
+			if math.Abs(gotLo-lo) > 1e-9 || math.Abs(gotHi-hi) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, propCfg); err != nil {
+		t.Error(err)
+	}
+}

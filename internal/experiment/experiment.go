@@ -1,0 +1,120 @@
+// Package experiment reproduces every table and figure of the paper's
+// evaluation section (§V): the noisy linear query application over a
+// MovieLens-style market (Fig. 4, Table I, Fig. 5(a)), the accommodation
+// rental application under the log-linear model (Fig. 5(b)), the
+// impression pricing application under the logistic model (Fig. 5(c)),
+// the §V-D latency/memory overheads, and the appendix ablations (Lemma 8,
+// Theorem 3). DESIGN.md carries the experiment index; EXPERIMENTS.md the
+// recorded paper-vs-measured outcomes.
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"datamarket/internal/pricing"
+)
+
+// Version selects one of the paper's mechanism configurations.
+type Version int
+
+const (
+	// VersionPure is Algorithm 1*: no reserve, no uncertainty.
+	VersionPure Version = iota
+	// VersionUncertainty is Algorithm 2*: uncertainty buffer, no reserve.
+	VersionUncertainty
+	// VersionReserve is Algorithm 1: reserve price constraint.
+	VersionReserve
+	// VersionReserveUncertainty is Algorithm 2: reserve and uncertainty.
+	VersionReserveUncertainty
+	// VersionRiskAverse is the baseline that posts the reserve each round.
+	VersionRiskAverse
+)
+
+// String renders the version label used in the paper's legends.
+func (v Version) String() string {
+	switch v {
+	case VersionPure:
+		return "Pure Version"
+	case VersionUncertainty:
+		return "With Uncertainty"
+	case VersionReserve:
+		return "With Reserve Price"
+	case VersionReserveUncertainty:
+		return "With Reserve Price and Uncertainty"
+	case VersionRiskAverse:
+		return "Risk-Averse Baseline"
+	default:
+		return fmt.Sprintf("Version(%d)", int(v))
+	}
+}
+
+// UsesReserve reports whether the version honours reserve prices.
+func (v Version) UsesReserve() bool {
+	return v == VersionReserve || v == VersionReserveUncertainty || v == VersionRiskAverse
+}
+
+// UsesUncertainty reports whether the version carries the buffer δ.
+func (v Version) UsesUncertainty() bool {
+	return v == VersionUncertainty || v == VersionReserveUncertainty
+}
+
+// AllVersions lists the four mechanism configurations of Fig. 4.
+var AllVersions = []Version{
+	VersionPure, VersionUncertainty, VersionReserve, VersionReserveUncertainty,
+}
+
+// Series is a measured curve: cumulative regret and regret ratio sampled
+// at checkpoints, plus end-of-run summaries.
+type Series struct {
+	Label       string
+	N           int
+	T           int
+	Checkpoints []int
+	CumRegret   []float64
+	RegretRatio []float64
+
+	FinalRegret float64
+	FinalRatio  float64
+	Table       pricing.TableRow
+	Counters    pricing.Counters
+}
+
+// Checkpoints returns ~pointsPerDecade log-spaced round indices in [1, T],
+// always including T — the x-axes of Fig. 4 and Fig. 5.
+func Checkpoints(T, pointsPerDecade int) []int {
+	if T < 1 {
+		return nil
+	}
+	if pointsPerDecade < 1 {
+		pointsPerDecade = 1
+	}
+	seen := map[int]bool{}
+	var out []int
+	add := func(t int) {
+		if t >= 1 && t <= T && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	add(1)
+	// Log-spaced grid.
+	for decade := 1; ; decade *= 10 {
+		if decade > T {
+			break
+		}
+		for k := 1; k <= pointsPerDecade; k++ {
+			t := int(float64(decade) * math.Pow(10, float64(k)/float64(pointsPerDecade)))
+			add(t)
+		}
+	}
+	add(T)
+	// `seen` deduplicates; the grid is generated in increasing order
+	// except possibly the final cap, so one bubble pass suffices.
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			out[i], out[i-1] = out[i-1], out[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package experiment
+
+import "testing"
+
+func TestThresholdSweep(t *testing.T) {
+	pts, err := ThresholdSweep(20, 3000, 100, []float64{0.05, 0.2, 0.8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Exploration volume must be monotone decreasing in ε.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Exploratory > pts[i-1].Exploratory {
+			t.Fatalf("exploration not decreasing in epsilon: %+v", pts)
+		}
+	}
+	for _, p := range pts {
+		if p.FinalRatio < 0 || p.FinalRatio > 1 {
+			t.Fatalf("ratio out of range: %+v", p)
+		}
+	}
+	if _, err := ThresholdSweep(2, 10, 10, nil, 1); err == nil {
+		t.Fatal("expected empty sweep error")
+	}
+	if _, err := ThresholdSweep(2, 10, 10, []float64{0}, 1); err == nil {
+		t.Fatal("expected epsilon error")
+	}
+}
+
+func TestUncertaintySweep(t *testing.T) {
+	pts, err := UncertaintySweep(10, 3000, 100, []float64{0, 0.01, 0.1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Large buffers must cost regret relative to δ = 0 (the §V-A shape).
+	if !(pts[2].FinalRatio > pts[0].FinalRatio) {
+		t.Fatalf("δ=0.1 ratio %v not above δ=0 ratio %v",
+			pts[2].FinalRatio, pts[0].FinalRatio)
+	}
+	if _, err := UncertaintySweep(2, 10, 10, nil, 1); err == nil {
+		t.Fatal("expected empty sweep error")
+	}
+	if _, err := UncertaintySweep(2, 10, 10, []float64{-1}, 1); err == nil {
+		t.Fatal("expected delta error")
+	}
+}
+
+func TestSGDComparison(t *testing.T) {
+	sgd, ell, err := SGDComparison(8, 6000, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ell < sgd) {
+		t.Fatalf("ellipsoid ratio %v not below SGD %v", ell, sgd)
+	}
+	if sgd > 0.8 || ell > 0.5 {
+		t.Fatalf("ratios implausible: sgd %v ell %v", sgd, ell)
+	}
+}

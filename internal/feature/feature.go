@@ -1,0 +1,252 @@
+// Package feature implements the feature engineering pipeline of the
+// paper's three applications:
+//
+//   - §II-B / §V-A: sorted-partition aggregation of per-owner privacy
+//     compensations into an n-dimensional feature vector, L2-normalized;
+//   - §V-B: pandas-style categorical codes and interaction features for
+//     the Airbnb listings;
+//   - §V-C: one-hot encoding with the hashing trick for the Avazu
+//     categorical fields;
+//   - §II-B: PCA as the alternative dimensionality reduction.
+package feature
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"datamarket/internal/linalg"
+)
+
+// PartitionAggregate implements the paper's compensation aggregation: sort
+// the values, divide them evenly into n contiguous partitions, and sum each
+// partition to produce one feature (§II-B). n = 1 yields the total
+// compensation; n = len(values) yields the per-owner compensations
+// themselves (sorted).
+func PartitionAggregate(values linalg.Vector, n int) (linalg.Vector, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("feature: partition count must be positive, got %d", n)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("feature: no values to aggregate")
+	}
+	if n > len(values) {
+		return nil, fmt.Errorf("feature: %d partitions for %d values", n, len(values))
+	}
+	sorted := values.Clone()
+	sort.Float64s(sorted)
+	out := make(linalg.Vector, n)
+	// Distribute len(values) items over n partitions as evenly as
+	// possible: the first (len mod n) partitions get one extra item.
+	base := len(sorted) / n
+	extra := len(sorted) % n
+	idx := 0
+	for p := 0; p < n; p++ {
+		size := base
+		if p < extra {
+			size++
+		}
+		var s float64
+		for k := 0; k < size; k++ {
+			s += sorted[idx]
+			idx++
+		}
+		out[p] = s
+	}
+	return out, nil
+}
+
+// L2Normalized returns v scaled to unit Euclidean norm along with the
+// original norm. A zero vector is returned unchanged with norm 0.
+func L2Normalized(v linalg.Vector) (linalg.Vector, float64) {
+	w := v.Clone()
+	norm := w.Normalize()
+	return w, norm
+}
+
+// CompensationFeatures runs the full §V-A pipeline: aggregate the
+// compensations into n partitions and L2-normalize, returning the feature
+// vector, the normalization constant, and the reserve price implied by the
+// normalized features (the sum of the normalized entries, matching the
+// paper's q_t = Σᵢ x_{t,i}).
+func CompensationFeatures(compensations linalg.Vector, n int) (x linalg.Vector, scale, reserve float64, err error) {
+	agg, err := PartitionAggregate(compensations, n)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	x, scale = L2Normalized(agg)
+	return x, scale, x.Sum(), nil
+}
+
+// Categorical maps string categories to dense integer codes in first-seen
+// order, mirroring pandas "categoricals" (§V-B). Missing values (empty
+// strings) get the dedicated code for the missing category.
+type Categorical struct {
+	codes  map[string]int
+	labels []string
+}
+
+// MissingLabel is the canonical label used for empty/missing values.
+const MissingLabel = "<missing>"
+
+// NewCategorical returns an empty encoder.
+func NewCategorical() *Categorical {
+	return &Categorical{codes: make(map[string]int)}
+}
+
+// Code returns the integer code for the value, registering it on first
+// sight. Empty strings map to the missing category.
+func (c *Categorical) Code(value string) int {
+	if value == "" {
+		value = MissingLabel
+	}
+	if code, ok := c.codes[value]; ok {
+		return code
+	}
+	code := len(c.labels)
+	c.codes[value] = code
+	c.labels = append(c.labels, value)
+	return code
+}
+
+// Lookup returns the code for a value without registering it; ok is false
+// for unseen values.
+func (c *Categorical) Lookup(value string) (code int, ok bool) {
+	if value == "" {
+		value = MissingLabel
+	}
+	code, ok = c.codes[value]
+	return code, ok
+}
+
+// Cardinality returns the number of distinct categories seen.
+func (c *Categorical) Cardinality() int { return len(c.labels) }
+
+// Labels returns the categories in code order (a copy).
+func (c *Categorical) Labels() []string {
+	return append([]string(nil), c.labels...)
+}
+
+// Hasher one-hot encodes categorical field=value pairs into a fixed
+// dimension via the hashing trick (§V-C): the feature index is
+// FNV64(field ":" value) mod n. Collisions are accepted by design — the
+// modulus n is the knob the paper turns (128 and 1024).
+type Hasher struct {
+	n int
+}
+
+// NewHasher builds a hashing encoder with modulus n ≥ 1.
+func NewHasher(n int) (*Hasher, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("feature: hash dimension must be positive, got %d", n)
+	}
+	return &Hasher{n: n}, nil
+}
+
+// Dim returns the output dimension.
+func (h *Hasher) Dim() int { return h.n }
+
+// Index returns the feature index for a field/value pair.
+func (h *Hasher) Index(field, value string) int {
+	f := fnv.New64a()
+	f.Write([]byte(field))
+	f.Write([]byte{':'})
+	f.Write([]byte(value))
+	return int(f.Sum64() % uint64(h.n))
+}
+
+// Encode one-hot encodes the pairs into a dense vector: each pair sets its
+// hashed index to 1 (duplicate hashes accumulate, as in standard hashing
+// encoders).
+func (h *Hasher) Encode(pairs map[string]string) linalg.Vector {
+	v := make(linalg.Vector, h.n)
+	for field, value := range pairs {
+		v[h.Index(field, value)]++
+	}
+	return v
+}
+
+// EncodeOrdered is Encode over an ordered list of field/value pairs, for
+// deterministic iteration in tests.
+func (h *Hasher) EncodeOrdered(fields, values []string) (linalg.Vector, error) {
+	if len(fields) != len(values) {
+		return nil, fmt.Errorf("feature: %d fields for %d values", len(fields), len(values))
+	}
+	v := make(linalg.Vector, h.n)
+	for i, f := range fields {
+		v[h.Index(f, values[i])]++
+	}
+	return v, nil
+}
+
+// Interactions appends pairwise product features x[i]·x[j] for the given
+// index pairs — the paper's "interaction features to enhance model
+// capacity" in the Airbnb pipeline.
+func Interactions(x linalg.Vector, pairs [][2]int) (linalg.Vector, error) {
+	out := make(linalg.Vector, 0, len(x)+len(pairs))
+	out = append(out, x...)
+	for _, p := range pairs {
+		i, j := p[0], p[1]
+		if i < 0 || i >= len(x) || j < 0 || j >= len(x) {
+			return nil, fmt.Errorf("feature: interaction pair (%d,%d) out of range for dim %d", i, j, len(x))
+		}
+		out = append(out, x[i]*x[j])
+	}
+	return out, nil
+}
+
+// Standardizer centers and scales columns to zero mean and unit variance,
+// fitted on a sample — the usual preprocessing before regression.
+type Standardizer struct {
+	mean  linalg.Vector
+	scale linalg.Vector
+}
+
+// FitStandardizer estimates per-column mean and standard deviation from
+// rows. Columns with zero variance get scale 1 (they pass through
+// centered).
+func FitStandardizer(rows []linalg.Vector) (*Standardizer, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("feature: no rows to fit")
+	}
+	d := len(rows[0])
+	mean := make(linalg.Vector, d)
+	for _, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("feature: ragged rows (%d vs %d)", len(r), d)
+		}
+		for j, v := range r {
+			mean[j] += v
+		}
+	}
+	mean.Scale(1 / float64(len(rows)))
+	scale := make(linalg.Vector, d)
+	for _, r := range rows {
+		for j, v := range r {
+			dv := v - mean[j]
+			scale[j] += dv * dv
+		}
+	}
+	for j := range scale {
+		scale[j] = scale[j] / float64(len(rows))
+		if scale[j] > 0 {
+			scale[j] = 1 / math.Sqrt(scale[j])
+		} else {
+			scale[j] = 1
+		}
+	}
+	return &Standardizer{mean: mean, scale: scale}, nil
+}
+
+// Transform returns (x − mean) ⊙ scale.
+func (s *Standardizer) Transform(x linalg.Vector) (linalg.Vector, error) {
+	if len(x) != len(s.mean) {
+		return nil, fmt.Errorf("feature: transform dim %d, want %d", len(x), len(s.mean))
+	}
+	out := make(linalg.Vector, len(x))
+	for i, v := range x {
+		out[i] = (v - s.mean[i]) * s.scale[i]
+	}
+	return out, nil
+}

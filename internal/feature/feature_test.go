@@ -1,0 +1,311 @@
+package feature
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"datamarket/internal/linalg"
+	"datamarket/internal/randx"
+)
+
+func TestPartitionAggregate(t *testing.T) {
+	vals := linalg.VectorOf(5, 1, 4, 2, 3, 6) // sorted: 1 2 3 4 5 6
+	got, err := PartitionAggregate(vals, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := linalg.VectorOf(3, 7, 11)
+	if !got.Equal(want, 1e-12) {
+		t.Fatalf("aggregate = %v, want %v", got, want)
+	}
+	// n = 1: total.
+	tot, _ := PartitionAggregate(vals, 1)
+	if tot[0] != 21 {
+		t.Fatalf("total = %v", tot[0])
+	}
+	// n = len: sorted values themselves.
+	all, _ := PartitionAggregate(vals, 6)
+	if !all.Equal(linalg.VectorOf(1, 2, 3, 4, 5, 6), 0) {
+		t.Fatalf("identity partition = %v", all)
+	}
+	// Uneven split: 5 values into 2 partitions → sizes 3 and 2.
+	un, _ := PartitionAggregate(linalg.VectorOf(1, 2, 3, 4, 5), 2)
+	if !un.Equal(linalg.VectorOf(6, 9), 1e-12) {
+		t.Fatalf("uneven = %v", un)
+	}
+	// Input must not be mutated.
+	if vals[0] != 5 {
+		t.Fatal("PartitionAggregate mutated input")
+	}
+}
+
+func TestPartitionAggregateErrors(t *testing.T) {
+	if _, err := PartitionAggregate(linalg.VectorOf(1), 0); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, err := PartitionAggregate(nil, 1); err == nil {
+		t.Fatal("expected error for empty values")
+	}
+	if _, err := PartitionAggregate(linalg.VectorOf(1, 2), 3); err == nil {
+		t.Fatal("expected error for n > len")
+	}
+}
+
+// Property: the aggregate preserves the total mass for any partition count.
+func TestPartitionPreservesSumProperty(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make(linalg.Vector, 0, len(raw))
+		var sum float64
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			v = math.Mod(v, 1e6)
+			vals = append(vals, v)
+			sum += v
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		k := 1 + int(kRaw)%len(vals)
+		agg, err := PartitionAggregate(vals, k)
+		if err != nil {
+			return false
+		}
+		return math.Abs(agg.Sum()-sum) <= 1e-6*math.Max(1, math.Abs(sum))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestL2NormalizedAndCompensationFeatures(t *testing.T) {
+	v, norm := L2Normalized(linalg.VectorOf(3, 4))
+	if math.Abs(norm-5) > 1e-12 || math.Abs(v.Norm2()-1) > 1e-12 {
+		t.Fatalf("normalize: %v %v", v, norm)
+	}
+	z, zn := L2Normalized(linalg.VectorOf(0, 0))
+	if zn != 0 || z.Norm2() != 0 {
+		t.Fatal("zero vector normalization wrong")
+	}
+	comps := linalg.VectorOf(1, 2, 3, 4)
+	x, scale, reserve, err := CompensationFeatures(comps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x.Norm2()-1) > 1e-12 {
+		t.Fatalf("feature norm = %v", x.Norm2())
+	}
+	// Aggregate is (3, 7), norm √58; reserve = (3+7)/√58.
+	if math.Abs(scale-math.Sqrt(58)) > 1e-9 {
+		t.Fatalf("scale = %v", scale)
+	}
+	if math.Abs(reserve-10/math.Sqrt(58)) > 1e-9 {
+		t.Fatalf("reserve = %v", reserve)
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	c := NewCategorical()
+	if c.Code("a") != 0 || c.Code("b") != 1 || c.Code("a") != 0 {
+		t.Fatal("codes not stable first-seen order")
+	}
+	if c.Code("") != 2 {
+		t.Fatal("missing value should get its own code")
+	}
+	if c.Cardinality() != 3 {
+		t.Fatalf("cardinality = %d", c.Cardinality())
+	}
+	if code, ok := c.Lookup("b"); !ok || code != 1 {
+		t.Fatalf("lookup b = %d %v", code, ok)
+	}
+	if _, ok := c.Lookup("zzz"); ok {
+		t.Fatal("lookup of unseen value succeeded")
+	}
+	labels := c.Labels()
+	if labels[2] != MissingLabel {
+		t.Fatalf("labels = %v", labels)
+	}
+	// Labels() returns a copy.
+	labels[0] = "mutated"
+	if c.Labels()[0] != "a" {
+		t.Fatal("Labels aliased internal state")
+	}
+}
+
+func TestHasher(t *testing.T) {
+	h, err := NewHasher(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Dim() != 64 {
+		t.Fatalf("Dim = %d", h.Dim())
+	}
+	i1 := h.Index("site", "abc")
+	if i1 < 0 || i1 >= 64 {
+		t.Fatalf("index out of range: %d", i1)
+	}
+	// Deterministic.
+	if h.Index("site", "abc") != i1 {
+		t.Fatal("hash index not deterministic")
+	}
+	// Field separation: same value under different fields should usually
+	// land differently (guaranteed for this particular pair).
+	if h.Index("site", "abc") == h.Index("app", "abc") &&
+		h.Index("site", "xyz") == h.Index("app", "xyz") {
+		t.Fatal("field name appears to be ignored by the hash")
+	}
+	v := h.Encode(map[string]string{"site": "abc", "app": "xyz"})
+	if v.Sum() != 2 {
+		t.Fatalf("encoded mass = %v, want 2", v.Sum())
+	}
+	vo, err := h.EncodeOrdered([]string{"site", "app"}, []string{"abc", "xyz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vo.Equal(v, 0) {
+		t.Fatal("ordered and map encodings disagree")
+	}
+	if _, err := h.EncodeOrdered([]string{"a"}, nil); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := NewHasher(0); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestInteractions(t *testing.T) {
+	x := linalg.VectorOf(2, 3, 5)
+	out, err := Interactions(x, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := linalg.VectorOf(2, 3, 5, 6, 15)
+	if !out.Equal(want, 0) {
+		t.Fatalf("interactions = %v", out)
+	}
+	if _, err := Interactions(x, [][2]int{{0, 9}}); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	rows := []linalg.Vector{
+		linalg.VectorOf(1, 10, 7),
+		linalg.VectorOf(3, 10, 7),
+		linalg.VectorOf(5, 10, 7),
+	}
+	s, err := FitStandardizer(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Transform(linalg.VectorOf(3, 10, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 0: mean 3 → 0. Constant columns pass through centered.
+	if math.Abs(out[0]) > 1e-12 || math.Abs(out[1]) > 1e-12 || math.Abs(out[2]) > 1e-12 {
+		t.Fatalf("transform = %v", out)
+	}
+	// Transformed sample has unit variance in column 0.
+	var sumsq float64
+	for _, r := range rows {
+		tr, _ := s.Transform(r)
+		sumsq += tr[0] * tr[0]
+	}
+	if math.Abs(sumsq/3-1) > 1e-9 {
+		t.Fatalf("variance = %v", sumsq/3)
+	}
+	if _, err := s.Transform(linalg.VectorOf(1)); err == nil {
+		t.Fatal("expected dim error")
+	}
+	if _, err := FitStandardizer(nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if _, err := FitStandardizer([]linalg.Vector{linalg.VectorOf(1), linalg.VectorOf(1, 2)}); err == nil {
+		t.Fatal("expected ragged error")
+	}
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Data varies mostly along (1, 1)/√2.
+	r := randx.New(9)
+	dir := linalg.VectorOf(1, 1)
+	dir.Normalize()
+	var rows []linalg.Vector
+	for i := 0; i < 400; i++ {
+		a := r.Normal(0, 3)
+		b := r.Normal(0, 0.1)
+		rows = append(rows, linalg.VectorOf(a*dir[0]-b*dir[1], a*dir[1]+b*dir[0]))
+	}
+	p, err := FitPCA(rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 1 {
+		t.Fatalf("K = %d", p.K())
+	}
+	ev := p.ExplainedVariance()
+	if ev[0] < 7 || ev[0] > 11 {
+		t.Fatalf("explained variance = %v, want ≈ 9", ev[0])
+	}
+	// The component must align with dir: differencing two transforms
+	// cancels the centering, leaving componentᵀ·dir ≈ ±1.
+	tr1, err := p.Transform(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr0, err := p.Transform(linalg.NewVector(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Abs(tr1[0] - tr0[0]); math.Abs(got-1) > 0.01 {
+		t.Fatalf("|componentᵀ·dir| = %v, want ≈ 1", got)
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	rows := []linalg.Vector{linalg.VectorOf(1, 2), linalg.VectorOf(3, 4)}
+	if _, err := FitPCA(rows[:1], 1); err == nil {
+		t.Fatal("expected too-few-rows error")
+	}
+	if _, err := FitPCA(rows, 0); err == nil {
+		t.Fatal("expected k range error")
+	}
+	if _, err := FitPCA(rows, 3); err == nil {
+		t.Fatal("expected k range error")
+	}
+	p, _ := FitPCA(rows, 1)
+	if _, err := p.Transform(linalg.VectorOf(1)); err == nil {
+		t.Fatal("expected dim error")
+	}
+}
+
+func TestTopKAndNonzeroAndProject(t *testing.T) {
+	v := linalg.VectorOf(0.1, 5, 0, -3, 2)
+	top := TopKIndices(v, 2)
+	if top[0] != 1 || top[1] != 4 {
+		t.Fatalf("top = %v", top)
+	}
+	if got := TopKIndices(v, 99); len(got) != 5 {
+		t.Fatalf("clamped top len = %d", len(got))
+	}
+	nz := NonzeroIndices(v, 0.5)
+	if len(nz) != 3 || nz[0] != 1 || nz[1] != 3 || nz[2] != 4 {
+		t.Fatalf("nonzero = %v", nz)
+	}
+	pr, err := Project(v, nz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Equal(linalg.VectorOf(5, -3, 2), 0) {
+		t.Fatalf("projected = %v", pr)
+	}
+	if _, err := Project(v, []int{9}); err == nil {
+		t.Fatal("expected range error")
+	}
+}

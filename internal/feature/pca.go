@@ -1,0 +1,115 @@
+package feature
+
+import (
+	"fmt"
+	"sort"
+
+	"datamarket/internal/linalg"
+)
+
+// PCA is the principal components analysis the paper suggests as the
+// alternative dimensionality reduction for high-dimensional compensation
+// vectors (§II-B). It is fitted on a sample of rows and then projects new
+// vectors onto the top-k components.
+type PCA struct {
+	mean       linalg.Vector
+	components *linalg.Matrix // d×k, columns are components
+	variances  linalg.Vector  // explained variance per component
+}
+
+// FitPCA computes the top-k principal components of the rows via the
+// eigendecomposition of the sample covariance matrix. k must satisfy
+// 1 ≤ k ≤ d, and at least two rows are required.
+func FitPCA(rows []linalg.Vector, k int) (*PCA, error) {
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("feature: PCA needs at least 2 rows, got %d", len(rows))
+	}
+	d := len(rows[0])
+	if k < 1 || k > d {
+		return nil, fmt.Errorf("feature: PCA components k=%d out of range [1, %d]", k, d)
+	}
+	mean := make(linalg.Vector, d)
+	for _, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("feature: ragged rows (%d vs %d)", len(r), d)
+		}
+		mean.AddScaled(1, r)
+	}
+	mean.Scale(1 / float64(len(rows)))
+
+	cov := linalg.NewMatrix(d, d)
+	for _, r := range rows {
+		c := r.Sub(mean)
+		cov.AddRankOne(1, c, c)
+	}
+	cov.Scale(1 / float64(len(rows)-1))
+	cov.Symmetrize()
+
+	vals, vecs, err := linalg.EigenSym(cov)
+	if err != nil {
+		return nil, fmt.Errorf("feature: PCA eigendecomposition: %w", err)
+	}
+	comps := linalg.NewMatrix(d, k)
+	variances := make(linalg.Vector, k)
+	for j := 0; j < k; j++ {
+		variances[j] = vals[j]
+		for i := 0; i < d; i++ {
+			comps.Set(i, j, vecs.At(i, j))
+		}
+	}
+	return &PCA{mean: mean, components: comps, variances: variances}, nil
+}
+
+// K returns the number of retained components.
+func (p *PCA) K() int { return p.components.Cols() }
+
+// ExplainedVariance returns the variance captured by each component, in
+// descending order.
+func (p *PCA) ExplainedVariance() linalg.Vector { return p.variances.Clone() }
+
+// Transform projects x onto the retained components.
+func (p *PCA) Transform(x linalg.Vector) (linalg.Vector, error) {
+	if len(x) != len(p.mean) {
+		return nil, fmt.Errorf("feature: PCA transform dim %d, want %d", len(x), len(p.mean))
+	}
+	return p.components.MulVecT(x.Sub(p.mean)), nil
+}
+
+// TopKIndices returns the indices of the k largest values in v, in
+// descending value order — a utility for sparsity analyses (e.g. selecting
+// the active coordinates of an FTRL weight vector, §V-C's "dense case").
+func TopKIndices(v linalg.Vector, k int) []int {
+	if k > len(v) {
+		k = len(v)
+	}
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] > v[idx[b]] })
+	return idx[:k]
+}
+
+// NonzeroIndices returns the indices where |v[i]| > tol, preserving order.
+func NonzeroIndices(v linalg.Vector, tol float64) []int {
+	var out []int
+	for i, x := range v {
+		if x > tol || x < -tol {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Project returns the subvector of x at the given indices — the "dense
+// case" reduction of §V-C that keeps only features with nonzero weights.
+func Project(x linalg.Vector, indices []int) (linalg.Vector, error) {
+	out := make(linalg.Vector, len(indices))
+	for k, i := range indices {
+		if i < 0 || i >= len(x) {
+			return nil, fmt.Errorf("feature: projection index %d out of range for dim %d", i, len(x))
+		}
+		out[k] = x[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+// Package kernel provides the Mercer kernels used by the kernelized market
+// value model of §IV-A (v_t = Σ_k K(x_t, x_k)θ*_k) and by the landmark
+// feature map in the pricing package. All kernels here are positive
+// semi-definite, which tests verify via Gram matrix eigenvalues.
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"datamarket/internal/linalg"
+)
+
+// Kernel is a symmetric positive semi-definite similarity function. It
+// mirrors pricing.Kernel so kernels plug straight into LandmarkMap.
+type Kernel interface {
+	Eval(x, y linalg.Vector) float64
+	Name() string
+}
+
+// Linear is K(x, y) = xᵀy.
+type Linear struct{}
+
+// Eval returns the dot product.
+func (Linear) Eval(x, y linalg.Vector) float64 { return x.Dot(y) }
+
+// Name returns "linear".
+func (Linear) Name() string { return "linear" }
+
+// Polynomial is K(x, y) = (xᵀy + c)^d with c ≥ 0 and integer degree d ≥ 1.
+type Polynomial struct {
+	Degree int
+	Offset float64
+}
+
+// NewPolynomial validates and builds a polynomial kernel.
+func NewPolynomial(degree int, offset float64) (Polynomial, error) {
+	if degree < 1 {
+		return Polynomial{}, fmt.Errorf("kernel: polynomial degree must be ≥ 1, got %d", degree)
+	}
+	if offset < 0 {
+		return Polynomial{}, fmt.Errorf("kernel: polynomial offset must be ≥ 0, got %g", offset)
+	}
+	return Polynomial{Degree: degree, Offset: offset}, nil
+}
+
+// Eval returns (xᵀy + c)^d.
+func (k Polynomial) Eval(x, y linalg.Vector) float64 {
+	return math.Pow(x.Dot(y)+k.Offset, float64(k.Degree))
+}
+
+// Name identifies the kernel.
+func (k Polynomial) Name() string {
+	return fmt.Sprintf("poly(d=%d,c=%g)", k.Degree, k.Offset)
+}
+
+// RBF is the Gaussian kernel K(x, y) = exp(−γ‖x−y‖²) with γ > 0.
+type RBF struct {
+	Gamma float64
+}
+
+// NewRBF validates and builds an RBF kernel.
+func NewRBF(gamma float64) (RBF, error) {
+	if gamma <= 0 {
+		return RBF{}, fmt.Errorf("kernel: RBF gamma must be positive, got %g", gamma)
+	}
+	return RBF{Gamma: gamma}, nil
+}
+
+// Eval returns exp(−γ‖x−y‖²).
+func (k RBF) Eval(x, y linalg.Vector) float64 {
+	d := x.Sub(y)
+	return math.Exp(-k.Gamma * d.Dot(d))
+}
+
+// Name identifies the kernel.
+func (k RBF) Name() string { return fmt.Sprintf("rbf(γ=%g)", k.Gamma) }
+
+// Gram computes the kernel matrix G[i,j] = K(points[i], points[j]).
+func Gram(k Kernel, points []linalg.Vector) *linalg.Matrix {
+	n := len(points)
+	g := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := k.Eval(points[i], points[j])
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+		}
+	}
+	return g
+}
+
+// IsPSD reports whether the Gram matrix over the points is positive
+// semi-definite within tolerance (smallest eigenvalue ≥ −tol).
+func IsPSD(k Kernel, points []linalg.Vector, tol float64) (bool, error) {
+	g := Gram(k, points)
+	lo, err := linalg.SmallestEigenvalueSym(g)
+	if err != nil {
+		return false, err
+	}
+	return lo >= -tol, nil
+}

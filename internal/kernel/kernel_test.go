@@ -1,0 +1,98 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"datamarket/internal/linalg"
+	"datamarket/internal/randx"
+)
+
+func TestLinearKernel(t *testing.T) {
+	k := Linear{}
+	if got := k.Eval(linalg.VectorOf(1, 2), linalg.VectorOf(3, 4)); got != 11 {
+		t.Fatalf("Eval = %v", got)
+	}
+	if k.Name() != "linear" {
+		t.Fatalf("Name = %q", k.Name())
+	}
+}
+
+func TestPolynomialKernel(t *testing.T) {
+	k, err := NewPolynomial(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1·1 + 2·0 + 1)² = 4.
+	if got := k.Eval(linalg.VectorOf(1, 2), linalg.VectorOf(1, 0)); got != 4 {
+		t.Fatalf("Eval = %v", got)
+	}
+	if _, err := NewPolynomial(0, 1); err == nil {
+		t.Fatal("expected degree error")
+	}
+	if _, err := NewPolynomial(2, -1); err == nil {
+		t.Fatal("expected offset error")
+	}
+}
+
+func TestRBFKernel(t *testing.T) {
+	k, err := NewRBF(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Eval(linalg.VectorOf(1, 1), linalg.VectorOf(1, 1)); got != 1 {
+		t.Fatalf("self-similarity = %v", got)
+	}
+	// ‖(0,0)−(1,1)‖² = 2 → e⁻¹.
+	if got := k.Eval(linalg.VectorOf(0, 0), linalg.VectorOf(1, 1)); math.Abs(got-math.Exp(-1)) > 1e-12 {
+		t.Fatalf("Eval = %v", got)
+	}
+	if _, err := NewRBF(0); err == nil {
+		t.Fatal("expected gamma error")
+	}
+	// RBF values live in (0, 1].
+	r := randx.New(1)
+	for i := 0; i < 100; i++ {
+		v := k.Eval(r.NormalVector(3, 2), r.NormalVector(3, 2))
+		if v <= 0 || v > 1 {
+			t.Fatalf("RBF value out of (0,1]: %v", v)
+		}
+	}
+}
+
+func TestGramSymmetric(t *testing.T) {
+	r := randx.New(2)
+	var pts []linalg.Vector
+	for i := 0; i < 8; i++ {
+		pts = append(pts, r.NormalVector(3, 1))
+	}
+	k, _ := NewRBF(1)
+	g := Gram(k, pts)
+	if !g.IsSymmetric(0) {
+		t.Fatal("Gram not symmetric")
+	}
+	for i := range pts {
+		if math.Abs(g.At(i, i)-1) > 1e-12 {
+			t.Fatalf("RBF diagonal = %v", g.At(i, i))
+		}
+	}
+}
+
+func TestKernelsArePSD(t *testing.T) {
+	r := randx.New(3)
+	var pts []linalg.Vector
+	for i := 0; i < 12; i++ {
+		pts = append(pts, r.NormalVector(4, 1))
+	}
+	poly, _ := NewPolynomial(3, 0.5)
+	rbf, _ := NewRBF(0.7)
+	for _, k := range []Kernel{Linear{}, poly, rbf} {
+		ok, err := IsPSD(k, pts, 1e-8)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name(), err)
+		}
+		if !ok {
+			t.Fatalf("%s Gram matrix is not PSD", k.Name())
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package learn
+
+import (
+	"math"
+	"testing"
+
+	"datamarket/internal/linalg"
+	"datamarket/internal/randx"
+)
+
+func TestFitLinearExactRecovery(t *testing.T) {
+	// Noise-free data: exact coefficient recovery.
+	truth := linalg.VectorOf(2, -1, 0.5)
+	r := randx.New(1)
+	var rows []linalg.Vector
+	var y linalg.Vector
+	for i := 0; i < 50; i++ {
+		x := r.NormalVector(3, 1)
+		rows = append(rows, x)
+		y = append(y, x.Dot(truth)+3)
+	}
+	m, err := FitLinear(rows, y, FitOptions{Intercept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Coef.Equal(truth, 1e-8) {
+		t.Fatalf("coef = %v, want %v", m.Coef, truth)
+	}
+	if math.Abs(m.Intercept-3) > 1e-8 {
+		t.Fatalf("intercept = %v, want 3", m.Intercept)
+	}
+	mse, err := m.MSE(rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse > 1e-15 {
+		t.Fatalf("MSE = %v on noise-free data", mse)
+	}
+	r2, err := m.R2(rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2-1) > 1e-9 {
+		t.Fatalf("R² = %v", r2)
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	truth := linalg.VectorOf(1, 2)
+	r := randx.New(2)
+	var rows []linalg.Vector
+	var y linalg.Vector
+	for i := 0; i < 2000; i++ {
+		x := r.NormalVector(2, 1)
+		rows = append(rows, x)
+		y = append(y, x.Dot(truth)+r.Normal(0, 0.5))
+	}
+	m, err := FitLinear(rows, y, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Coef.Equal(truth, 0.05) {
+		t.Fatalf("coef = %v", m.Coef)
+	}
+	mse, _ := m.MSE(rows, y)
+	if math.Abs(mse-0.25) > 0.05 {
+		t.Fatalf("MSE = %v, want ≈ noise variance 0.25", mse)
+	}
+}
+
+func TestFitLinearValidation(t *testing.T) {
+	rows := []linalg.Vector{linalg.VectorOf(1, 2)}
+	if _, err := FitLinear(nil, nil, FitOptions{}); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if _, err := FitLinear(rows, linalg.VectorOf(1, 2), FitOptions{}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := FitLinear(rows, linalg.VectorOf(1), FitOptions{Ridge: -1}); err == nil {
+		t.Fatal("expected negative ridge error")
+	}
+	// Underdetermined without ridge fails; with ridge succeeds.
+	if _, err := FitLinear(rows, linalg.VectorOf(1), FitOptions{}); err == nil {
+		t.Fatal("expected underdetermined error")
+	}
+	if _, err := FitLinear(rows, linalg.VectorOf(1), FitOptions{Ridge: 0.1}); err != nil {
+		t.Fatalf("ridge fit failed: %v", err)
+	}
+	ragged := []linalg.Vector{linalg.VectorOf(1, 2), linalg.VectorOf(1)}
+	if _, err := FitLinear(ragged, linalg.VectorOf(1, 2), FitOptions{}); err == nil {
+		t.Fatal("expected ragged error")
+	}
+}
+
+func TestPredictErrorsAndBatch(t *testing.T) {
+	m := &LinearRegression{Coef: linalg.VectorOf(1, 1)}
+	if _, err := m.Predict(linalg.VectorOf(1)); err == nil {
+		t.Fatal("expected dim error")
+	}
+	out, err := m.PredictAll([]linalg.Vector{linalg.VectorOf(1, 2), linalg.VectorOf(3, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(linalg.VectorOf(3, 7), 1e-12) {
+		t.Fatalf("batch = %v", out)
+	}
+	if _, err := m.MSE(nil, nil); err == nil {
+		t.Fatal("expected empty MSE error")
+	}
+	if _, err := m.R2([]linalg.Vector{linalg.VectorOf(1, 1), linalg.VectorOf(2, 2)}, linalg.VectorOf(5, 5)); err == nil {
+		t.Fatal("expected constant-target R² error")
+	}
+}
+
+func TestRidgeShrinks(t *testing.T) {
+	r := randx.New(3)
+	var rows []linalg.Vector
+	var y linalg.Vector
+	for i := 0; i < 60; i++ {
+		x := r.NormalVector(4, 1)
+		rows = append(rows, x)
+		y = append(y, x.Sum()+r.Normal(0, 0.1))
+	}
+	m0, _ := FitLinear(rows, y, FitOptions{})
+	m1, _ := FitLinear(rows, y, FitOptions{Ridge: 50})
+	if !(m1.Coef.Norm2() < m0.Coef.Norm2()) {
+		t.Fatalf("ridge did not shrink: %v vs %v", m1.Coef.Norm2(), m0.Coef.Norm2())
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	train, test, err := TrainTestSplit(10, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(test) != 2 || len(train) != 8 {
+		t.Fatalf("split sizes %d/%d", len(train), len(test))
+	}
+	seen := map[int]bool{}
+	for _, i := range append(train, test...) {
+		if seen[i] {
+			t.Fatalf("index %d duplicated", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) != 10 {
+		t.Fatal("split lost indices")
+	}
+	if _, _, err := TrainTestSplit(0, 5, 0); err == nil {
+		t.Fatal("expected n error")
+	}
+	if _, _, err := TrainTestSplit(10, 1, 0); err == nil {
+		t.Fatal("expected k error")
+	}
+	// Negative phase is clamped.
+	if _, _, err := TrainTestSplit(10, 2, -3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewFTRLValidation(t *testing.T) {
+	if _, err := NewFTRL(FTRLConfig{Dim: 0, Alpha: 1, Beta: 1}); err == nil {
+		t.Fatal("expected dim error")
+	}
+	if _, err := NewFTRL(FTRLConfig{Dim: 2, Alpha: 0, Beta: 1}); err == nil {
+		t.Fatal("expected alpha error")
+	}
+	if _, err := NewFTRL(FTRLConfig{Dim: 2, Alpha: 1, Beta: 1, L1: -1}); err == nil {
+		t.Fatal("expected L1 error")
+	}
+	f, err := NewFTRL(FTRLConfig{Dim: 3, Alpha: 0.1, Beta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Dim() != 3 || f.Samples() != 0 || f.AverageLoss() != 0 {
+		t.Fatal("fresh learner state wrong")
+	}
+}
+
+func TestFTRLLearnsSparseLogisticModel(t *testing.T) {
+	// Ground truth: sparse weights over 64 dims; clicks from the sigmoid.
+	dim := 64
+	r := randx.New(5)
+	truth := make(linalg.Vector, dim)
+	active := []int{3, 17, 40}
+	for _, i := range active {
+		truth[i] = r.Uniform(1.5, 2.5) * r.Rademacher()
+	}
+	// L1 must be sized against the √n growth of the z accumulators: each
+	// coordinate appears ~3750 times here, so the useless-coordinate z's
+	// random-walk scale is ≈ √(3750·0.25) ≈ 15; L1 = 60 zeroes those while
+	// the active coordinates' systematic drift (~|w|(β+√n)/α ≈ 170)
+	// survives comfortably.
+	f, err := NewFTRL(FTRLConfig{Dim: dim, Alpha: 0.2, Beta: 1, L1: 60, L2: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := func() (linalg.Vector, float64) {
+		// Sparse binary features: each of 8 random coordinates set.
+		x := make(linalg.Vector, dim)
+		for k := 0; k < 8; k++ {
+			x[r.Intn(dim)] = 1
+		}
+		p := sigmoid(x.Dot(truth))
+		y := 0.0
+		if r.Float64() < p {
+			y = 1
+		}
+		return x, y
+	}
+	for i := 0; i < 30000; i++ {
+		x, y := sample()
+		if _, err := f.Update(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sparsity: far fewer nonzeros than dims, and all true actives found.
+	nz := f.NonzeroCount()
+	if nz > dim/4 {
+		t.Fatalf("FTRL weights not sparse: %d nonzero of %d", nz, dim)
+	}
+	w := f.Weights()
+	for _, i := range active {
+		if w[i]*truth[i] <= 0 {
+			t.Fatalf("active weight %d has wrong sign: %v vs truth %v", i, w[i], truth[i])
+		}
+	}
+	// Held-out loss must beat the constant predictor.
+	var rows []linalg.Vector
+	var labels linalg.Vector
+	var base float64
+	for i := 0; i < 3000; i++ {
+		x, y := sample()
+		rows = append(rows, x)
+		labels = append(labels, y)
+		base += y
+	}
+	base /= float64(len(labels))
+	ll, err := f.EvaluateLogLoss(rows, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var constLoss float64
+	for _, y := range labels {
+		constLoss += LogLoss(base, y)
+	}
+	constLoss /= float64(len(labels))
+	if !(ll < constLoss) {
+		t.Fatalf("FTRL loss %v not below constant-predictor loss %v", ll, constLoss)
+	}
+	if f.Samples() != 30000 {
+		t.Fatalf("samples = %d", f.Samples())
+	}
+	if f.AverageLoss() <= 0 {
+		t.Fatalf("average loss = %v", f.AverageLoss())
+	}
+}
+
+func TestFTRLL1InducesZeroWeights(t *testing.T) {
+	// With pure-noise labels and strong L1, weights must stay exactly 0.
+	r := randx.New(6)
+	f, _ := NewFTRL(FTRLConfig{Dim: 16, Alpha: 0.1, Beta: 1, L1: 50, L2: 0})
+	for i := 0; i < 2000; i++ {
+		x := make(linalg.Vector, 16)
+		x[r.Intn(16)] = 1
+		y := 0.0
+		if r.Bool() {
+			y = 1
+		}
+		f.Update(x, y)
+	}
+	if nz := f.NonzeroCount(); nz != 0 {
+		t.Fatalf("strong L1 left %d nonzero weights", nz)
+	}
+}
+
+func TestFTRLUpdateValidation(t *testing.T) {
+	f, _ := NewFTRL(FTRLConfig{Dim: 2, Alpha: 0.1, Beta: 1})
+	if _, err := f.Update(linalg.VectorOf(1), 0); err == nil {
+		t.Fatal("expected dim error")
+	}
+	if _, err := f.Update(linalg.VectorOf(1, 0), 0.5); err == nil {
+		t.Fatal("expected label error")
+	}
+	if _, err := f.Predict(linalg.VectorOf(1)); err == nil {
+		t.Fatal("expected predict dim error")
+	}
+	if _, err := f.EvaluateLogLoss(nil, nil); err == nil {
+		t.Fatal("expected empty eval error")
+	}
+	if _, err := f.EvaluateLogLoss([]linalg.Vector{linalg.VectorOf(1, 0)}, nil); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestSigmoidAndLogLoss(t *testing.T) {
+	if sigmoid(0) != 0.5 {
+		t.Fatal("sigmoid(0) != 0.5")
+	}
+	if sigmoid(100) != 1 || sigmoid(-100) != 0 {
+		t.Fatal("sigmoid clamping wrong")
+	}
+	if LogLoss(0.5, 1) != LogLoss(0.5, 0) {
+		t.Fatal("symmetric loss at p=0.5 differs")
+	}
+	// Clamped: no Inf even at p = 0 with y = 1.
+	if math.IsInf(LogLoss(0, 1), 0) {
+		t.Fatal("LogLoss overflowed")
+	}
+	if LogLoss(0.9, 1) > LogLoss(0.1, 1) {
+		t.Fatal("loss not decreasing in p for y=1")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	acc, err := Accuracy(linalg.VectorOf(0.9, 0.2, 0.7), linalg.VectorOf(1, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	if _, err := Accuracy(linalg.VectorOf(1), nil); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+	if _, err := Accuracy(nil, nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+}

@@ -1,0 +1,112 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCholeskyKnown(t *testing.T) {
+	a := MatrixFromRows([][]float64{{4, 2}, {2, 3}})
+	f, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L = [[2,0],[1,sqrt(2)]].
+	if !almostEq(f.L.At(0, 0), 2, 1e-12) || !almostEq(f.L.At(1, 0), 1, 1e-12) ||
+		!almostEq(f.L.At(1, 1), math.Sqrt2, 1e-12) || f.L.At(0, 1) != 0 {
+		t.Fatalf("L = \n%v", f.L)
+	}
+	// det = 4*3 - 4 = 8.
+	if !almostEq(f.Det(), 8, 1e-10) {
+		t.Fatalf("Det = %v", f.Det())
+	}
+}
+
+func TestCholeskyReconstructAndSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 4, 9, 20} {
+		a := randomSPD(rng, n)
+		f, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !f.L.Mul(f.L.T()).Equal(a, 1e-8*math.Max(1, a.MaxAbs())) {
+			t.Fatalf("n=%d: LLᵀ != A", n)
+		}
+		// Solve against a known x.
+		x := make(Vector, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(x)
+		got := f.SolveVec(b)
+		if !got.Equal(x, 1e-6*math.Max(1, x.NormInf())) {
+			t.Fatalf("n=%d: solve error: %v vs %v", n, got, x)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+	if IsPositiveDefinite(a) {
+		t.Fatal("indefinite matrix reported PD")
+	}
+	if !IsPositiveDefinite(Identity(3)) {
+		t.Fatal("identity reported non-PD")
+	}
+}
+
+func TestInverseSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomSPD(rng, 6)
+	inv, err := InverseSPD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(inv).Equal(Identity(6), 1e-8) {
+		t.Fatalf("A·A⁻¹ != I:\n%v", a.Mul(inv))
+	}
+	if !inv.IsSymmetric(1e-10) {
+		t.Fatal("inverse of SPD not symmetric")
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	a := MatrixFromRows([][]float64{{2, 0}, {0, 4}})
+	x, err := SolveSPD(a, VectorOf(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(VectorOf(1, 2), 1e-12) {
+		t.Fatalf("SolveSPD = %v", x)
+	}
+}
+
+func TestCholeskyMulVecMapsBallToEllipsoid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomSPD(rng, 4)
+	f, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := InverseSPD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For any unit u, x = L·u satisfies xᵀ A⁻¹ x = 1.
+	for trial := 0; trial < 50; trial++ {
+		u := make(Vector, 4)
+		for i := range u {
+			u[i] = rng.NormFloat64()
+		}
+		u.Normalize()
+		x := f.MulVec(u)
+		if q := inv.QuadForm(x); !almostEq(q, 1, 1e-8) {
+			t.Fatalf("trial %d: quad form = %v, want 1", trial, q)
+		}
+	}
+}

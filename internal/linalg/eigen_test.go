@@ -1,0 +1,149 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomSPD builds a random symmetric positive definite matrix with
+// condition number controlled by the diagonal shift.
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	b := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	a := b.T().Mul(b)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+0.5)
+	}
+	a.Symmetrize()
+	return a
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := Diagonal(VectorOf(3, 1, 2))
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vals.Equal(VectorOf(3, 2, 1), 1e-12) {
+		t.Fatalf("vals = %v", vals)
+	}
+	// Reconstruction check.
+	recon := vecs.Mul(Diagonal(vals)).Mul(vecs.T())
+	if !recon.Equal(a, 1e-10) {
+		t.Fatalf("reconstruction failed:\n%v", recon)
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := MatrixFromRows([][]float64{{2, 1}, {1, 2}})
+	vals, _, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(vals[0], 3, 1e-12) || !almostEq(vals[1], 1, 1e-12) {
+		t.Fatalf("vals = %v, want [3 1]", vals)
+	}
+}
+
+func TestEigenSymRandomReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 5, 10, 25} {
+		a := randomSPD(rng, n)
+		vals, vecs, err := EigenSym(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Eigenvalues sorted descending and positive for SPD.
+		for i := 0; i < n; i++ {
+			if vals[i] <= 0 {
+				t.Fatalf("n=%d: non-positive eigenvalue %v", n, vals[i])
+			}
+			if i > 0 && vals[i] > vals[i-1]+1e-12 {
+				t.Fatalf("n=%d: eigenvalues not sorted: %v", n, vals)
+			}
+		}
+		// V·D·Vᵀ = A.
+		recon := vecs.Mul(Diagonal(vals)).Mul(vecs.T())
+		tol := 1e-8 * math.Max(1, a.MaxAbs())
+		if !recon.Equal(a, tol) {
+			t.Fatalf("n=%d: reconstruction error %v", n, maxDiff(recon, a))
+		}
+		// Vᵀ·V = I (orthogonality).
+		if !vecs.T().Mul(vecs).Equal(Identity(n), 1e-9) {
+			t.Fatalf("n=%d: eigenvectors not orthonormal", n)
+		}
+		// Trace equals eigenvalue sum; logdet via eigen equals via Cholesky.
+		if !almostEq(a.Trace(), vals.Sum(), 1e-8*math.Max(1, a.Trace())) {
+			t.Fatalf("n=%d: trace %v != eig sum %v", n, a.Trace(), vals.Sum())
+		}
+		ld1, err := LogDetSym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(ld1, f.LogDet(), 1e-7*math.Max(1, math.Abs(ld1))) {
+			t.Fatalf("n=%d: logdet mismatch %v vs %v", n, ld1, f.LogDet())
+		}
+	}
+}
+
+func TestEigenSymRejectsNonSymmetric(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {0, 1}})
+	if _, _, err := EigenSym(a); err == nil {
+		t.Fatal("expected error for non-symmetric input")
+	}
+	if _, _, err := EigenSym(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestSmallestEigenvalueSym(t *testing.T) {
+	a := Diagonal(VectorOf(5, 0.25, 9))
+	lo, err := SmallestEigenvalueSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(lo, 0.25, 1e-12) {
+		t.Fatalf("smallest = %v", lo)
+	}
+}
+
+func TestPowerIterationMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomSPD(rng, 8)
+	vals, _, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam, v := PowerIteration(a, Ones(8), 500)
+	if !almostEq(lam, vals[0], 1e-6*vals[0]) {
+		t.Fatalf("power iteration %v vs Jacobi %v", lam, vals[0])
+	}
+	// Residual ‖Av − λv‖ small.
+	res := a.MulVec(v).Sub(v.Scaled(lam)).Norm2()
+	if res > 1e-5*vals[0] {
+		t.Fatalf("power iteration residual %v", res)
+	}
+}
+
+func maxDiff(a, b *Matrix) float64 {
+	var m float64
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			d := math.Abs(a.At(i, j) - b.At(i, j))
+			if d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,135 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// QRFactor holds a Householder QR factorization of an m×n matrix with
+// m ≥ n: a = Q·R where Q is m×m orthogonal (stored implicitly as
+// Householder reflectors) and R is n×n upper triangular.
+type QRFactor struct {
+	qr    *Matrix // packed reflectors below diagonal, R on/above diagonal
+	rdiag Vector  // diagonal of R
+}
+
+// QR computes the Householder QR factorization of a (m ≥ n required).
+func QR(a *Matrix) (*QRFactor, error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, fmt.Errorf("%w: QR requires rows >= cols, got %dx%d", ErrDimension, m, n)
+	}
+	qr := a.Clone()
+	rdiag := make(Vector, n)
+	for k := 0; k < n; k++ {
+		// Norm of column k below row k.
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm == 0 {
+			rdiag[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/nrm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		// Apply reflector to remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rdiag[k] = -nrm
+	}
+	return &QRFactor{qr: qr, rdiag: rdiag}, nil
+}
+
+// IsFullRank reports whether R has no (numerically) zero pivot.
+func (f *QRFactor) IsFullRank() bool {
+	for _, d := range f.rdiag {
+		if math.Abs(d) < 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve returns the least-squares solution x minimizing ‖a·x − b‖₂.
+// It returns an error if a is rank deficient.
+func (f *QRFactor) Solve(b Vector) (Vector, error) {
+	m, n := f.qr.Rows(), f.qr.Cols()
+	if len(b) != m {
+		return nil, fmt.Errorf("%w: QR Solve rhs length %d, want %d", ErrDimension, len(b), m)
+	}
+	if !f.IsFullRank() {
+		return nil, fmt.Errorf("linalg: QR Solve on rank-deficient matrix")
+	}
+	y := b.Clone()
+	// Apply Qᵀ to y.
+	for k := 0; k < n; k++ {
+		if f.qr.At(k, k) == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back substitution with R.
+	x := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / f.rdiag[i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖a·x − b‖₂ in one call.
+func LeastSquares(a *Matrix, b Vector) (Vector, error) {
+	f, err := QR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// RidgeLeastSquares solves min ‖a·x − b‖² + λ‖x‖² by augmenting the system
+// with √λ·I rows; λ must be non-negative. λ = 0 reduces to plain least
+// squares, and any λ > 0 guarantees full rank.
+func RidgeLeastSquares(a *Matrix, b Vector, lambda float64) (Vector, error) {
+	if lambda < 0 {
+		return nil, fmt.Errorf("linalg: negative ridge penalty %g", lambda)
+	}
+	if lambda == 0 {
+		return LeastSquares(a, b)
+	}
+	m, n := a.Rows(), a.Cols()
+	aug := NewMatrix(m+n, n)
+	for i := 0; i < m; i++ {
+		copy(aug.Row(i), a.Row(i))
+	}
+	s := math.Sqrt(lambda)
+	for i := 0; i < n; i++ {
+		aug.Set(m+i, i, s)
+	}
+	rhs := make(Vector, m+n)
+	copy(rhs, b)
+	return LeastSquares(aug, rhs)
+}

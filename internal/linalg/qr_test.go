@@ -1,0 +1,141 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Square full-rank system: exact solve.
+	a := MatrixFromRows([][]float64{{2, 0}, {1, 3}})
+	x, err := LeastSquares(a, VectorOf(4, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(VectorOf(2, 3), 1e-10) {
+		t.Fatalf("x = %v, want [2 3]", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 1 + 2x through noisy-free points: recover exactly.
+	xs := []float64{0, 1, 2, 3, 4}
+	a := NewMatrix(len(xs), 2)
+	b := make(Vector, len(xs))
+	for i, x := range xs {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		b[i] = 1 + 2*x
+	}
+	coef, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !coef.Equal(VectorOf(1, 2), 1e-10) {
+		t.Fatalf("coef = %v", coef)
+	}
+}
+
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	// The LS residual must be orthogonal to the column space.
+	rng := rand.New(rand.NewSource(21))
+	m, n := 30, 5
+	a := NewMatrix(m, n)
+	b := make(Vector, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		b[i] = rng.NormFloat64()
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := b.Sub(a.MulVec(x))
+	g := a.MulVecT(r) // Aᵀr should vanish
+	if g.NormInf() > 1e-9*math.Max(1, b.NormInf()) {
+		t.Fatalf("normal equations violated: Aᵀr = %v", g)
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {2, 4}, {3, 6}}) // rank 1
+	f, err := QR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.IsFullRank() {
+		t.Fatal("rank-1 matrix reported full rank")
+	}
+	if _, err := f.Solve(VectorOf(1, 2, 3)); err == nil {
+		t.Fatal("expected Solve error on rank-deficient matrix")
+	}
+}
+
+func TestQRShapeErrors(t *testing.T) {
+	if _, err := QR(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for wide matrix")
+	}
+	f, err := QR(Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve(VectorOf(1, 2, 3)); err == nil {
+		t.Fatal("expected rhs length error")
+	}
+}
+
+func TestRidgeLeastSquares(t *testing.T) {
+	// Ridge with a rank-deficient design must still produce a solution,
+	// and larger lambda must shrink the coefficient norm.
+	a := MatrixFromRows([][]float64{{1, 1}, {1, 1}, {1, 1}})
+	b := VectorOf(2, 2, 2)
+	x1, err := RidgeLeastSquares(a, b, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := RidgeLeastSquares(a, b, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(x2.Norm2() < x1.Norm2()) {
+		t.Fatalf("ridge did not shrink: ‖x(0.01)‖=%v ‖x(10)‖=%v", x1.Norm2(), x2.Norm2())
+	}
+	if _, err := RidgeLeastSquares(a, b, -1); err == nil {
+		t.Fatal("expected error for negative lambda")
+	}
+	// lambda = 0 equals plain least squares on a full-rank system.
+	fr := MatrixFromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	y := VectorOf(1, 2, 3)
+	p1, _ := RidgeLeastSquares(fr, y, 0)
+	p2, _ := LeastSquares(fr, y)
+	if !p1.Equal(p2, 1e-12) {
+		t.Fatalf("lambda=0 mismatch: %v vs %v", p1, p2)
+	}
+}
+
+func TestRidgeShrinksTowardZeroProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	m, n := 12, 4
+	a := NewMatrix(m, n)
+	b := make(Vector, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		b[i] = rng.NormFloat64()
+	}
+	prev := math.Inf(1)
+	for _, lam := range []float64{0, 0.1, 1, 10, 100} {
+		x, err := RidgeLeastSquares(a, b, lam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.Norm2() > prev+1e-9 {
+			t.Fatalf("norm not monotone in lambda at %v", lam)
+		}
+		prev = x.Norm2()
+	}
+}

@@ -1,0 +1,155 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVectorDot(t *testing.T) {
+	v := VectorOf(1, 2, 3)
+	w := VectorOf(4, -5, 6)
+	if got := v.Dot(w); got != 1*4-2*5+3*6 {
+		t.Fatalf("Dot = %v, want 12", got)
+	}
+}
+
+func TestVectorDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	VectorOf(1, 2).Dot(VectorOf(1))
+}
+
+func TestVectorNorms(t *testing.T) {
+	v := VectorOf(3, -4)
+	if got := v.Norm2(); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := v.Norm1(); !almostEq(got, 7, 1e-12) {
+		t.Errorf("Norm1 = %v, want 7", got)
+	}
+	if got := v.NormInf(); !almostEq(got, 4, 1e-12) {
+		t.Errorf("NormInf = %v, want 4", got)
+	}
+}
+
+func TestNorm2OverflowSafe(t *testing.T) {
+	big := 1e300
+	v := VectorOf(big, big)
+	want := big * math.Sqrt2
+	if got := v.Norm2(); math.IsInf(got, 0) || math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("Norm2 overflowed: got %v, want %v", got, want)
+	}
+}
+
+func TestVectorArithmetic(t *testing.T) {
+	v := VectorOf(1, 2, 3)
+	w := VectorOf(10, 20, 30)
+	if got := v.Add(w); !got.Equal(VectorOf(11, 22, 33), 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := w.Sub(v); !got.Equal(VectorOf(9, 18, 27), 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scaled(2); !got.Equal(VectorOf(2, 4, 6), 0) {
+		t.Errorf("Scaled = %v", got)
+	}
+	u := v.Clone()
+	u.AddScaled(3, w)
+	if !u.Equal(VectorOf(31, 62, 93), 0) {
+		t.Errorf("AddScaled = %v", u)
+	}
+	// v must be untouched by Clone-then-modify.
+	if !v.Equal(VectorOf(1, 2, 3), 0) {
+		t.Errorf("Clone aliased the source: %v", v)
+	}
+}
+
+func TestVectorNormalize(t *testing.T) {
+	v := VectorOf(3, 4)
+	n := v.Normalize()
+	if !almostEq(n, 5, 1e-12) {
+		t.Fatalf("Normalize returned %v, want 5", n)
+	}
+	if !almostEq(v.Norm2(), 1, 1e-12) {
+		t.Fatalf("normalized norm = %v", v.Norm2())
+	}
+	z := VectorOf(0, 0)
+	if n := z.Normalize(); n != 0 {
+		t.Fatalf("zero vector Normalize = %v, want 0", n)
+	}
+}
+
+func TestVectorMinMaxSum(t *testing.T) {
+	v := VectorOf(2, -7, 5)
+	if v.Max() != 5 || v.Min() != -7 || v.Sum() != 0 {
+		t.Fatalf("Max/Min/Sum = %v/%v/%v", v.Max(), v.Min(), v.Sum())
+	}
+}
+
+func TestVectorIsFinite(t *testing.T) {
+	if !VectorOf(1, 2).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if VectorOf(1, math.NaN()).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if VectorOf(math.Inf(1)).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestOuterAndBasis(t *testing.T) {
+	m := Outer(VectorOf(1, 2), VectorOf(3, 4, 5))
+	want := MatrixFromRows([][]float64{{3, 4, 5}, {6, 8, 10}})
+	if !m.Equal(want, 0) {
+		t.Fatalf("Outer = \n%v", m)
+	}
+	e := Basis(3, 1)
+	if !e.Equal(VectorOf(0, 1, 0), 0) {
+		t.Fatalf("Basis = %v", e)
+	}
+	if o := Ones(2); !o.Equal(VectorOf(1, 1), 0) {
+		t.Fatalf("Ones = %v", o)
+	}
+}
+
+// Property: Cauchy-Schwarz |v·w| ≤ ‖v‖‖w‖ for arbitrary inputs.
+func TestDotCauchySchwarzProperty(t *testing.T) {
+	f := func(a, b, c, d, e, g float64) bool {
+		v := VectorOf(clamp(a), clamp(b), clamp(c))
+		w := VectorOf(clamp(d), clamp(e), clamp(g))
+		lhs := math.Abs(v.Dot(w))
+		rhs := v.Norm2() * w.Norm2()
+		return lhs <= rhs*(1+1e-9)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality ‖v+w‖ ≤ ‖v‖+‖w‖.
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		v := VectorOf(clamp(a), clamp(b))
+		w := VectorOf(clamp(c), clamp(d))
+		return v.Add(w).Norm2() <= v.Norm2()+w.Norm2()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clamp squashes quick-generated values into a numerically sane range so
+// properties test algebra rather than float overflow pathologies.
+func clamp(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}

@@ -1,0 +1,264 @@
+// Package market implements the online personal data market of the paper's
+// system model (Fig. 2): data owners contribute private values under
+// compensation contracts, a data broker answers noisy linear queries from
+// online data consumers, quantifies privacy leakage, compensates owners,
+// and prices each query with a posted-price mechanism subject to the
+// reserve price constraint (the total privacy compensation).
+package market
+
+import (
+	"fmt"
+
+	"datamarket/internal/feature"
+	"datamarket/internal/linalg"
+	"datamarket/internal/pricing"
+	"datamarket/internal/privacy"
+	"datamarket/internal/randx"
+)
+
+// Owner is a data owner: a private value (e.g. an aggregate of her
+// MovieLens ratings), the range Δ of that value used in sensitivity
+// analysis, and her compensation contract.
+type Owner struct {
+	// ID identifies the owner.
+	ID int
+	// Value is the private data value the broker holds for her.
+	Value float64
+	// Range bounds how much Value could change between neighboring
+	// databases (the per-owner sensitivity Δᵢ ≥ 0).
+	Range float64
+	// Contract converts privacy leakage into compensation.
+	Contract privacy.Contract
+}
+
+// Query is a data consumer's customized request: a noisy linear query to
+// evaluate over the owners' values.
+type Query struct {
+	// Q is the underlying noisy linear query (weights + noise variance).
+	Q *privacy.LinearQuery
+	// Valuation is the consumer's private market value for the answer;
+	// the broker never observes it, only whether her price was accepted.
+	Valuation float64
+}
+
+// Transaction is the ledger record of one pricing round.
+type Transaction struct {
+	Round        int
+	Reserve      float64
+	Posted       float64
+	Decision     pricing.Decision
+	Sold         bool
+	Revenue      float64 // price collected if sold
+	Compensation float64 // paid out to owners if sold
+	Profit       float64 // Revenue − Compensation (≥ 0 by reserve constraint)
+	Answer       float64 // noisy answer returned if sold
+	MarketValue  float64 // consumer's valuation (recorded for evaluation)
+	Regret       float64 // per Eq. (1)
+}
+
+// Broker runs the data market: it owns the dataset, the compensation
+// machinery, the feature pipeline, and the pricing mechanism.
+type Broker struct {
+	owners    []Owner
+	values    linalg.Vector
+	ranges    linalg.Vector
+	contracts []privacy.Contract
+
+	mech       pricing.Poster
+	featureDim int
+	rng        *randx.RNG
+
+	ledger  []Transaction
+	tracker *pricing.Tracker
+
+	ownerPayout linalg.Vector // cumulative compensation per owner
+}
+
+// Config configures a Broker.
+type Config struct {
+	// Owners is the data owner population; must be non-empty, with
+	// non-negative ranges and non-nil contracts.
+	Owners []Owner
+	// Mechanism is the posted-price strategy; typically a pricing.Mechanism
+	// built with WithReserve().
+	Mechanism pricing.Poster
+	// FeatureDim is the dimension n of the aggregated compensation
+	// feature vector (1 ≤ FeatureDim ≤ len(Owners)).
+	FeatureDim int
+	// Seed drives the Laplace noise in the returned answers.
+	Seed uint64
+	// KeepRecords retains the full ledger (needed for curves).
+	KeepRecords bool
+}
+
+// NewBroker validates the configuration and builds the broker.
+func NewBroker(cfg Config) (*Broker, error) {
+	if len(cfg.Owners) == 0 {
+		return nil, fmt.Errorf("market: no data owners")
+	}
+	if cfg.Mechanism == nil {
+		return nil, fmt.Errorf("market: no pricing mechanism")
+	}
+	if cfg.FeatureDim < 1 || cfg.FeatureDim > len(cfg.Owners) {
+		return nil, fmt.Errorf("market: feature dimension %d out of range [1, %d]",
+			cfg.FeatureDim, len(cfg.Owners))
+	}
+	b := &Broker{
+		owners:      cfg.Owners,
+		values:      make(linalg.Vector, len(cfg.Owners)),
+		ranges:      make(linalg.Vector, len(cfg.Owners)),
+		contracts:   make([]privacy.Contract, len(cfg.Owners)),
+		mech:        cfg.Mechanism,
+		featureDim:  cfg.FeatureDim,
+		rng:         randx.New(cfg.Seed),
+		tracker:     pricing.NewTracker(cfg.KeepRecords),
+		ownerPayout: make(linalg.Vector, len(cfg.Owners)),
+	}
+	for i, o := range cfg.Owners {
+		if o.Range < 0 {
+			return nil, fmt.Errorf("market: owner %d has negative range", i)
+		}
+		if o.Contract == nil {
+			return nil, fmt.Errorf("market: owner %d has no contract", i)
+		}
+		b.values[i] = o.Value
+		b.ranges[i] = o.Range
+		b.contracts[i] = o.Contract
+	}
+	return b, nil
+}
+
+// Owners returns the number of data owners.
+func (b *Broker) Owners() int { return len(b.owners) }
+
+// FeatureDim returns the aggregation dimension n.
+func (b *Broker) FeatureDim() int { return b.featureDim }
+
+// QuoteContext is the broker-side derivation for one query, exposed so
+// experiments can reuse the exact pipeline without trading.
+type QuoteContext struct {
+	Leakages      linalg.Vector
+	Compensations linalg.Vector
+	Reserve       float64
+	Features      linalg.Vector
+	Scale         float64
+}
+
+// Prepare runs the §II-B pipeline for a query: leakage quantification,
+// compensations, reserve price, and the normalized partition-aggregated
+// feature vector.
+func (b *Broker) Prepare(q *privacy.LinearQuery) (*QuoteContext, error) {
+	leak, err := q.Leakages(b.ranges)
+	if err != nil {
+		return nil, fmt.Errorf("market: leakage quantification: %w", err)
+	}
+	comps, err := privacy.Compensations(leak, b.contracts)
+	if err != nil {
+		return nil, fmt.Errorf("market: compensations: %w", err)
+	}
+	x, scale, _, err := feature.CompensationFeatures(comps, b.featureDim)
+	if err != nil {
+		return nil, fmt.Errorf("market: feature aggregation: %w", err)
+	}
+	// The reserve is the actual total compensation (what the broker must
+	// pay out), matching the non-negative-utility constraint of §II-A.
+	// Note the paper's §V-A normalization prices everything in units of
+	// the feature scale; we keep the reserve in those same units so the
+	// reserve constraint q_t = Σᵢ x_{t,i} of the experiments holds.
+	reserve := x.Sum()
+	return &QuoteContext{
+		Leakages:      leak,
+		Compensations: comps,
+		Reserve:       reserve,
+		Features:      x,
+		Scale:         scale,
+	}, nil
+}
+
+// Trade executes one full round: prepare, post a price, observe the
+// consumer's decision, settle payments, and append to the ledger. The
+// consumer accepts iff the posted price is at most her valuation.
+func (b *Broker) Trade(query Query) (Transaction, error) {
+	ctx, err := b.Prepare(query.Q)
+	if err != nil {
+		return Transaction{}, err
+	}
+	quote, err := b.mech.PostPrice(ctx.Features, ctx.Reserve)
+	if err != nil {
+		return Transaction{}, fmt.Errorf("market: posting price: %w", err)
+	}
+
+	tx := Transaction{
+		Round:       len(b.ledger) + 1,
+		Reserve:     ctx.Reserve,
+		Decision:    quote.Decision,
+		MarketValue: query.Valuation,
+	}
+
+	if quote.Decision == pricing.DecisionSkip {
+		tx.Posted = ctx.Reserve
+	} else {
+		tx.Posted = quote.Price
+		tx.Sold = pricing.Sold(quote.Price, query.Valuation)
+		if err := b.mech.Observe(tx.Sold); err != nil {
+			return Transaction{}, fmt.Errorf("market: observing feedback: %w", err)
+		}
+	}
+
+	if tx.Sold {
+		tx.Revenue = tx.Posted
+		tx.Compensation = ctx.Reserve
+		tx.Profit = tx.Revenue - tx.Compensation
+		// Pay owners proportionally to their compensations (all of them,
+		// in compensation units rescaled to feature units).
+		total := ctx.Compensations.Sum()
+		if total > 0 {
+			for i, c := range ctx.Compensations {
+				b.ownerPayout[i] += ctx.Reserve * c / total
+			}
+		}
+		ans, err := query.Q.Answer(b.values, b.rng)
+		if err != nil {
+			return Transaction{}, err
+		}
+		tx.Answer = ans
+	}
+	tx.Regret = pricing.SingleRoundRegret(query.Valuation, ctx.Reserve, tx.Posted)
+
+	b.tracker.Record(query.Valuation, ctx.Reserve, quote)
+	b.ledger = append(b.ledger, tx)
+	return tx, nil
+}
+
+// Ledger returns the recorded transactions (shared slice; do not mutate).
+func (b *Broker) Ledger() []Transaction { return b.ledger }
+
+// Tracker returns the broker's regret tracker.
+func (b *Broker) Tracker() *pricing.Tracker { return b.tracker }
+
+// OwnerPayout returns the cumulative compensation paid to owner i.
+func (b *Broker) OwnerPayout(i int) (float64, error) {
+	if i < 0 || i >= len(b.ownerPayout) {
+		return 0, fmt.Errorf("market: owner %d out of range", i)
+	}
+	return b.ownerPayout[i], nil
+}
+
+// TotalProfit returns Σ (revenue − compensation) over all transactions;
+// the reserve price constraint guarantees it is non-negative.
+func (b *Broker) TotalProfit() float64 {
+	var s float64
+	for _, tx := range b.ledger {
+		s += tx.Profit
+	}
+	return s
+}
+
+// TotalRevenue returns the total price collected from consumers.
+func (b *Broker) TotalRevenue() float64 {
+	var s float64
+	for _, tx := range b.ledger {
+		s += tx.Revenue
+	}
+	return s
+}

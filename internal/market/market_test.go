@@ -1,0 +1,291 @@
+package market
+
+import (
+	"math"
+	"testing"
+
+	"datamarket/internal/linalg"
+	"datamarket/internal/pricing"
+	"datamarket/internal/privacy"
+	"datamarket/internal/randx"
+)
+
+// testOwners builds a small owner population with tanh contracts.
+func testOwners(t *testing.T, n int, seed uint64) []Owner {
+	t.Helper()
+	r := randx.New(seed)
+	contract, err := privacy.NewTanhContract(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := make([]Owner, n)
+	for i := range owners {
+		owners[i] = Owner{
+			ID:       i,
+			Value:    r.Uniform(0.5, 5),
+			Range:    1,
+			Contract: contract,
+		}
+	}
+	return owners
+}
+
+func testMechanism(t *testing.T, n int, T int) *pricing.Mechanism {
+	t.Helper()
+	m, err := pricing.New(n, 2*math.Sqrt(float64(n)),
+		pricing.WithReserve(),
+		pricing.WithThreshold(pricing.DefaultThreshold(n, T, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewBrokerValidation(t *testing.T) {
+	owners := testOwners(t, 10, 1)
+	mech := testMechanism(t, 4, 100)
+	if _, err := NewBroker(Config{Mechanism: mech, FeatureDim: 4}); err == nil {
+		t.Fatal("expected no-owners error")
+	}
+	if _, err := NewBroker(Config{Owners: owners, FeatureDim: 4}); err == nil {
+		t.Fatal("expected no-mechanism error")
+	}
+	if _, err := NewBroker(Config{Owners: owners, Mechanism: mech, FeatureDim: 0}); err == nil {
+		t.Fatal("expected feature-dim error")
+	}
+	if _, err := NewBroker(Config{Owners: owners, Mechanism: mech, FeatureDim: 99}); err == nil {
+		t.Fatal("expected feature-dim too large error")
+	}
+	bad := testOwners(t, 2, 2)
+	bad[1].Range = -1
+	if _, err := NewBroker(Config{Owners: bad, Mechanism: mech, FeatureDim: 1}); err == nil {
+		t.Fatal("expected negative-range error")
+	}
+	bad2 := testOwners(t, 2, 3)
+	bad2[0].Contract = nil
+	if _, err := NewBroker(Config{Owners: bad2, Mechanism: mech, FeatureDim: 1}); err == nil {
+		t.Fatal("expected nil-contract error")
+	}
+	b, err := NewBroker(Config{Owners: owners, Mechanism: mech, FeatureDim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Owners() != 10 || b.FeatureDim() != 4 {
+		t.Fatalf("accessors: %d %d", b.Owners(), b.FeatureDim())
+	}
+}
+
+func TestPreparePipeline(t *testing.T) {
+	owners := testOwners(t, 20, 4)
+	mech := testMechanism(t, 5, 100)
+	b, err := NewBroker(Config{Owners: owners, Mechanism: mech, FeatureDim: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randx.New(5)
+	q, err := privacy.NewLinearQuery(r.NormalVector(20, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := b.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx.Features) != 5 {
+		t.Fatalf("feature dim %d", len(ctx.Features))
+	}
+	if math.Abs(ctx.Features.Norm2()-1) > 1e-9 {
+		t.Fatalf("features not normalized: %v", ctx.Features.Norm2())
+	}
+	if math.Abs(ctx.Reserve-ctx.Features.Sum()) > 1e-12 {
+		t.Fatalf("reserve %v != feature sum %v", ctx.Reserve, ctx.Features.Sum())
+	}
+	// Compensation ordering: features are sums of sorted compensations, so
+	// they must be non-decreasing across partitions.
+	for i := 1; i < len(ctx.Features); i++ {
+		if ctx.Features[i] < ctx.Features[i-1]-1e-12 {
+			t.Fatalf("aggregated features not sorted: %v", ctx.Features)
+		}
+	}
+	if ctx.Leakages.Min() < 0 || ctx.Compensations.Min() < 0 {
+		t.Fatal("negative leakage or compensation")
+	}
+}
+
+func TestTradeFullLoop(t *testing.T) {
+	const (
+		owners = 50
+		n      = 5
+		T      = 2000
+	)
+	ownerPop := testOwners(t, owners, 6)
+	mech := testMechanism(t, n, T)
+	b, err := NewBroker(Config{Owners: ownerPop, Mechanism: mech, FeatureDim: n, Seed: 7, KeepRecords: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := randx.New(8)
+	theta := r0.NormalVector(n, 1)
+	for i := range theta {
+		theta[i] = math.Abs(theta[i])
+	}
+	theta.Normalize()
+	theta.Scale(math.Sqrt(2 * float64(n)))
+	cm, err := NewConsumerModel(ConsumerConfig{
+		Owners: ownerPop, FeatureDim: n, Theta: theta,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(9)
+	var sold int
+	for i := 0; i < T; i++ {
+		q, err := cm.NextQuery(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx, err := b.Trade(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tx.Sold {
+			sold++
+			if tx.Posted < tx.Reserve-1e-9 {
+				t.Fatalf("round %d: sold below reserve: %v < %v", i, tx.Posted, tx.Reserve)
+			}
+			if tx.Profit < -1e-9 {
+				t.Fatalf("round %d: negative profit %v", i, tx.Profit)
+			}
+		}
+		if tx.Regret < 0 {
+			t.Fatalf("round %d: negative regret", i)
+		}
+	}
+	if sold == 0 {
+		t.Fatal("no sales in the whole run")
+	}
+	if len(b.Ledger()) != T {
+		t.Fatalf("ledger has %d entries", len(b.Ledger()))
+	}
+	if b.TotalProfit() < 0 {
+		t.Fatalf("negative total profit %v", b.TotalProfit())
+	}
+	if b.TotalRevenue() <= 0 {
+		t.Fatalf("no revenue: %v", b.TotalRevenue())
+	}
+	// The regret ratio must be modest once the mechanism converges.
+	if ratio := b.Tracker().RegretRatio(); ratio > 0.35 {
+		t.Fatalf("regret ratio %v too high", ratio)
+	}
+	// Owner payouts sum to total compensation paid.
+	var payoutSum float64
+	for i := 0; i < owners; i++ {
+		p, err := b.OwnerPayout(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0 {
+			t.Fatalf("owner %d negative payout", i)
+		}
+		payoutSum += p
+	}
+	var compSum float64
+	for _, tx := range b.Ledger() {
+		compSum += tx.Compensation
+	}
+	if math.Abs(payoutSum-compSum) > 1e-6*math.Max(1, compSum) {
+		t.Fatalf("payouts %v != compensations %v", payoutSum, compSum)
+	}
+	if _, err := b.OwnerPayout(-1); err == nil {
+		t.Fatal("expected payout range error")
+	}
+}
+
+func TestConsumerModelValidation(t *testing.T) {
+	owners := testOwners(t, 5, 10)
+	if _, err := NewConsumerModel(ConsumerConfig{FeatureDim: 1, Theta: linalg.VectorOf(1)}); err == nil {
+		t.Fatal("expected owners error")
+	}
+	if _, err := NewConsumerModel(ConsumerConfig{Owners: owners, FeatureDim: 0, Theta: nil}); err == nil {
+		t.Fatal("expected dim error")
+	}
+	if _, err := NewConsumerModel(ConsumerConfig{Owners: owners, FeatureDim: 2, Theta: linalg.VectorOf(1)}); err == nil {
+		t.Fatal("expected theta length error")
+	}
+	cm, err := NewConsumerModel(ConsumerConfig{Owners: owners, FeatureDim: 2, Theta: linalg.VectorOf(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cm.Theta().Equal(linalg.VectorOf(1, 1), 0) {
+		t.Fatal("Theta accessor wrong")
+	}
+}
+
+func TestConsumerQueriesAreDiverse(t *testing.T) {
+	owners := testOwners(t, 30, 11)
+	theta := linalg.Ones(3)
+	for _, uniform := range []bool{false, true} {
+		cm, err := NewConsumerModel(ConsumerConfig{
+			Owners: owners, FeatureDim: 3, Theta: theta, UniformWeights: uniform,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := randx.New(12)
+		variances := map[float64]bool{}
+		for i := 0; i < 200; i++ {
+			q, err := cm.NextQuery(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			variances[q.Q.NoiseVariance] = true
+			if len(q.Q.Weights) != 30 {
+				t.Fatalf("query over %d owners", len(q.Q.Weights))
+			}
+			if uniform && q.Q.Weights.NormInf() > 1 {
+				t.Fatalf("uniform weights out of range: %v", q.Q.Weights.NormInf())
+			}
+			// Valuations derive from unit features with positive theta.
+			if q.Valuation < 0 || q.Valuation > theta.Norm2()+1e-9 {
+				t.Fatalf("valuation %v out of range", q.Valuation)
+			}
+		}
+		// The noise-variance grid has 9 levels; a 200-draw sample must
+		// hit most of them.
+		if len(variances) < 5 {
+			t.Fatalf("variance diversity too low: %d levels", len(variances))
+		}
+	}
+}
+
+func TestConsumerNoiseInjection(t *testing.T) {
+	owners := testOwners(t, 10, 13)
+	theta := linalg.Ones(2)
+	noise, _ := randx.NewSubGaussianNoise(randx.NoiseNormal, 0.1)
+	cm, err := NewConsumerModel(ConsumerConfig{
+		Owners: owners, FeatureDim: 2, Theta: theta, Noise: noise,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With noise, repeated draws of structurally similar queries produce
+	// valuations spread around the deterministic value.
+	rng := randx.New(14)
+	var vals []float64
+	for i := 0; i < 200; i++ {
+		q, err := cm.NextQuery(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, q.Valuation)
+	}
+	var outside int
+	for _, v := range vals {
+		if v < 0 || v > theta.Norm2() {
+			outside++
+		}
+	}
+	if outside == 0 {
+		t.Fatal("noise appears to have no effect on valuations")
+	}
+}

@@ -1,0 +1,180 @@
+package pricing
+
+import "datamarket/internal/stats"
+
+// SingleRoundRegret evaluates the paper's regret function (Eq. 1) for one
+// round with known market value v, reserve price q, posted price p, and the
+// implied sale outcome:
+//
+//	R = 0                       if q > v   (no one could have sold it)
+//	R = v − p·1{p ≤ v}          otherwise
+//
+// This is the piecewise, asymmetric function of Fig. 1: underpricing by s
+// costs s, while overpricing by any amount costs the full value v.
+func SingleRoundRegret(v, q, p float64) float64 {
+	if q > v {
+		return 0
+	}
+	if p <= v {
+		return v - p
+	}
+	return v
+}
+
+// Sold reports whether a posted price p sells against market value v.
+func Sold(p, v float64) bool { return p <= v }
+
+// RoundRecord captures everything the evaluation needs about one round.
+type RoundRecord struct {
+	MarketValue float64
+	Reserve     float64
+	Posted      float64
+	Decision    Decision
+	Sold        bool
+	Regret      float64
+	Revenue     float64
+}
+
+// Tracker accumulates the per-round series that the paper's tables and
+// figures are built from: cumulative regret (Fig. 4), cumulative market
+// value for regret ratios (Fig. 5), revenue, and Table I-style summaries.
+type Tracker struct {
+	records []RoundRecord
+
+	cumRegret  float64
+	cumValue   float64
+	cumRevenue float64
+
+	regretStats  *stats.Online
+	valueStats   *stats.Online
+	postedStats  *stats.Online
+	reserveStats *stats.Online
+
+	keepRecords bool
+}
+
+// NewTracker returns a tracker. If keepRecords is true every RoundRecord
+// is retained (needed for curves); otherwise only aggregates are kept,
+// which keeps memory O(1) for very long runs.
+func NewTracker(keepRecords bool) *Tracker {
+	return &Tracker{
+		regretStats:  stats.NewOnline(),
+		valueStats:   stats.NewOnline(),
+		postedStats:  stats.NewOnline(),
+		reserveStats: stats.NewOnline(),
+		keepRecords:  keepRecords,
+	}
+}
+
+// Record folds one completed round into the tracker. For skip rounds pass
+// the quote with Decision == DecisionSkip; the posted price is recorded as
+// the reserve (nothing was offered, and the regret definition's first
+// branch applies whenever q > v).
+func (t *Tracker) Record(v, reserve float64, quote Quote) RoundRecord {
+	posted := quote.Price
+	sold := false
+	switch quote.Decision {
+	case DecisionSkip:
+		posted = reserve
+	default:
+		sold = Sold(quote.Price, v)
+	}
+	r := RoundRecord{
+		MarketValue: v,
+		Reserve:     reserve,
+		Posted:      posted,
+		Decision:    quote.Decision,
+		Sold:        sold,
+		Regret:      SingleRoundRegret(v, reserve, posted),
+	}
+	if sold {
+		r.Revenue = posted
+	}
+	t.cumRegret += r.Regret
+	t.cumValue += v
+	t.cumRevenue += r.Revenue
+	t.regretStats.Add(r.Regret)
+	t.valueStats.Add(v)
+	t.postedStats.Add(posted)
+	t.reserveStats.Add(reserve)
+	if t.keepRecords {
+		t.records = append(t.records, r)
+	}
+	return r
+}
+
+// Rounds returns the number of recorded rounds.
+func (t *Tracker) Rounds() int { return t.regretStats.Count() }
+
+// CumulativeRegret returns Σ R_t so far.
+func (t *Tracker) CumulativeRegret() float64 { return t.cumRegret }
+
+// CumulativeValue returns Σ v_t so far.
+func (t *Tracker) CumulativeValue() float64 { return t.cumValue }
+
+// CumulativeRevenue returns the broker's total earned revenue.
+func (t *Tracker) CumulativeRevenue() float64 { return t.cumRevenue }
+
+// RegretRatio returns Σ R_t / Σ v_t, the headline metric of Fig. 5.
+func (t *Tracker) RegretRatio() float64 {
+	if t.cumValue == 0 {
+		return 0
+	}
+	return t.cumRegret / t.cumValue
+}
+
+// Records returns the retained per-round records (nil unless keepRecords).
+func (t *Tracker) Records() []RoundRecord { return t.records }
+
+// RegretCurve returns the cumulative regret after each round (requires
+// keepRecords).
+func (t *Tracker) RegretCurve() []float64 {
+	out := make([]float64, len(t.records))
+	var s float64
+	for i, r := range t.records {
+		s += r.Regret
+		out[i] = s
+	}
+	return out
+}
+
+// RatioCurve returns the regret ratio after each round (requires
+// keepRecords).
+func (t *Tracker) RatioCurve() []float64 {
+	out := make([]float64, len(t.records))
+	var sr, sv float64
+	for i, r := range t.records {
+		sr += r.Regret
+		sv += r.MarketValue
+		if sv > 0 {
+			out[i] = sr / sv
+		}
+	}
+	return out
+}
+
+// TableRow is one row of a Table I-style statistics table: per-round means
+// and standard deviations in the paper's "mean (std)" format.
+type TableRow struct {
+	MarketValue stats.Summary
+	Reserve     stats.Summary
+	Posted      stats.Summary
+	Regret      stats.Summary
+}
+
+// Table returns the Table I row for this run.
+func (t *Tracker) Table() TableRow {
+	return TableRow{
+		MarketValue: onlineSummary(t.valueStats),
+		Reserve:     onlineSummary(t.reserveStats),
+		Posted:      onlineSummary(t.postedStats),
+		Regret:      onlineSummary(t.regretStats),
+	}
+}
+
+func onlineSummary(o *stats.Online) stats.Summary {
+	return stats.Summary{
+		Count: o.Count(), Mean: o.Mean(), Std: o.Std(),
+		Min: o.Min(), Max: o.Max(),
+	}
+}

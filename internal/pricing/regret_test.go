@@ -1,0 +1,142 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleRoundRegretShape(t *testing.T) {
+	v, q := 10.0, 4.0
+	// Posted below value: regret is the underpricing gap (Fig. 1 left).
+	if got := SingleRoundRegret(v, q, 7); got != 3 {
+		t.Fatalf("underpricing regret = %v, want 3", got)
+	}
+	// Posted exactly at value: zero regret.
+	if got := SingleRoundRegret(v, q, 10); got != 0 {
+		t.Fatalf("exact price regret = %v, want 0", got)
+	}
+	// Posted above value: full value lost (Fig. 1 cliff).
+	if got := SingleRoundRegret(v, q, 10.0001); got != v {
+		t.Fatalf("overpricing regret = %v, want %v", got, v)
+	}
+	// Reserve above value: no regret regardless of price.
+	if got := SingleRoundRegret(3, 4, 100); got != 0 {
+		t.Fatalf("q>v regret = %v, want 0", got)
+	}
+}
+
+// Lemma 1 as a property: for every (v, q, p'), pricing with the reserve
+// constraint p = max(q, p') never increases the single-round regret
+// relative to the unconstrained regret of p'.
+func TestLemma1Property(t *testing.T) {
+	f := func(rv, rq, rp float64) bool {
+		v := math.Mod(math.Abs(rv), 1000)
+		q := math.Mod(math.Abs(rq), 1000)
+		pPrime := math.Mod(math.Abs(rp), 1000)
+		p := math.Max(q, pPrime)
+		withReserve := SingleRoundRegret(v, q, p)
+		// Unconstrained regret per Eq. (7): no first branch.
+		var unconstrained float64
+		if pPrime <= v {
+			unconstrained = v - pPrime
+		} else {
+			unconstrained = v
+		}
+		return withReserve <= unconstrained+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The regret cliff: approaching the market value from below decreases
+// regret monotonically; any overshoot jumps to the full value.
+func TestRegretMonotoneBelowValue(t *testing.T) {
+	v, q := 5.0, 1.0
+	prev := math.Inf(1)
+	for p := 0.0; p <= v; p += 0.25 {
+		r := SingleRoundRegret(v, q, p)
+		if r > prev {
+			t.Fatalf("regret not monotone below value at p=%v", p)
+		}
+		prev = r
+	}
+	if r := SingleRoundRegret(v, q, v+0.01); r != v {
+		t.Fatalf("cliff regret = %v", r)
+	}
+}
+
+func TestTrackerAccounting(t *testing.T) {
+	tr := NewTracker(true)
+	// Round 1: sold at 4 against value 5 → regret 1, revenue 4.
+	rec := tr.Record(5, 1, Quote{Price: 4, Decision: DecisionConservative})
+	if !rec.Sold || rec.Regret != 1 || rec.Revenue != 4 {
+		t.Fatalf("rec = %+v", rec)
+	}
+	// Round 2: overpriced at 7 against value 5 → no sale, regret 5.
+	rec = tr.Record(5, 1, Quote{Price: 7, Decision: DecisionExploratory})
+	if rec.Sold || rec.Regret != 5 || rec.Revenue != 0 {
+		t.Fatalf("rec = %+v", rec)
+	}
+	// Round 3: skip with q > v → regret 0.
+	rec = tr.Record(5, 9, Quote{Decision: DecisionSkip})
+	if rec.Sold || rec.Regret != 0 {
+		t.Fatalf("skip rec = %+v", rec)
+	}
+	if tr.Rounds() != 3 {
+		t.Fatalf("rounds = %d", tr.Rounds())
+	}
+	if tr.CumulativeRegret() != 6 || tr.CumulativeValue() != 15 || tr.CumulativeRevenue() != 4 {
+		t.Fatalf("cumulative: %v %v %v", tr.CumulativeRegret(), tr.CumulativeValue(), tr.CumulativeRevenue())
+	}
+	if math.Abs(tr.RegretRatio()-0.4) > 1e-12 {
+		t.Fatalf("ratio = %v", tr.RegretRatio())
+	}
+	curve := tr.RegretCurve()
+	if len(curve) != 3 || curve[0] != 1 || curve[1] != 6 || curve[2] != 6 {
+		t.Fatalf("curve = %v", curve)
+	}
+	rc := tr.RatioCurve()
+	if math.Abs(rc[2]-0.4) > 1e-12 {
+		t.Fatalf("ratio curve = %v", rc)
+	}
+	row := tr.Table()
+	if row.MarketValue.Count != 3 || math.Abs(row.MarketValue.Mean-5) > 1e-12 {
+		t.Fatalf("table row = %+v", row)
+	}
+}
+
+func TestTrackerSkipRecordsReserveAsPosted(t *testing.T) {
+	tr := NewTracker(true)
+	rec := tr.Record(2, 10, Quote{Price: 12345, Decision: DecisionSkip})
+	if rec.Posted != 10 {
+		t.Fatalf("skip posted = %v, want reserve 10", rec.Posted)
+	}
+}
+
+func TestTrackerWithoutRecords(t *testing.T) {
+	tr := NewTracker(false)
+	for i := 0; i < 100; i++ {
+		tr.Record(1, 0, Quote{Price: 0.5, Decision: DecisionConservative})
+	}
+	if tr.Records() != nil {
+		t.Fatal("records retained despite keepRecords=false")
+	}
+	if tr.Rounds() != 100 || tr.CumulativeRegret() != 50 {
+		t.Fatalf("aggregates wrong: %d %v", tr.Rounds(), tr.CumulativeRegret())
+	}
+}
+
+func TestRegretRatioEmpty(t *testing.T) {
+	tr := NewTracker(false)
+	if tr.RegretRatio() != 0 {
+		t.Fatal("empty ratio must be 0")
+	}
+}
+
+func TestSold(t *testing.T) {
+	if !Sold(1, 1) || !Sold(0.5, 1) || Sold(1.01, 1) {
+		t.Fatal("Sold boundary wrong")
+	}
+}

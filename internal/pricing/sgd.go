@@ -1,0 +1,107 @@
+package pricing
+
+import (
+	"fmt"
+	"math"
+
+	"datamarket/internal/linalg"
+)
+
+// SGDPoster is the stochastic-gradient contextual pricing strategy of
+// Amin, Rostamizadeh, Syed (NIPS 2014), the related-work comparator the
+// paper discusses in §VI-B: maintain a point estimate θ̂ of the weight
+// vector, post the implied value estimate (optionally floored at the
+// reserve), and after each round take a gradient step on the revenue
+// surrogate. It attains Õ(T^{2/3}) strategic regret under i.i.d.
+// features — asymptotically worse than the ellipsoid mechanism's
+// O(n² log T), which is exactly the comparison the ablation benches draw.
+type SGDPoster struct {
+	theta      linalg.Vector
+	eta0       float64 // initial step size
+	expl       float64 // exploration margin scale
+	useReserve bool
+
+	t       int
+	pending bool
+	lastX   linalg.Vector
+	lastP   float64
+	lastEst float64
+
+	counters Counters
+}
+
+// NewSGD builds the baseline for n-dimensional features. eta0 is the
+// initial learning rate (step t uses eta0/√t); margin scales the
+// downward exploration offset t^{-1/3} that gives the T^{2/3} rate.
+func NewSGD(n int, eta0, margin float64, useReserve bool) (*SGDPoster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pricing: SGD dimension must be positive, got %d", n)
+	}
+	if eta0 <= 0 || margin < 0 {
+		return nil, fmt.Errorf("pricing: SGD needs positive eta0 and non-negative margin, got %g, %g", eta0, margin)
+	}
+	return &SGDPoster{
+		theta:      make(linalg.Vector, n),
+		eta0:       eta0,
+		expl:       margin,
+		useReserve: useReserve,
+	}, nil
+}
+
+// Theta returns a copy of the current estimate θ̂.
+func (s *SGDPoster) Theta() linalg.Vector { return s.theta.Clone() }
+
+// Counters returns the run statistics.
+func (s *SGDPoster) Counters() Counters { return s.counters }
+
+// PostPrice posts max(reserve, x·θ̂ − margin·t^{-1/3}): the value estimate
+// shaded down so that sales keep happening often enough to learn.
+func (s *SGDPoster) PostPrice(x linalg.Vector, reserve float64) (Quote, error) {
+	if len(x) != len(s.theta) {
+		return Quote{}, fmt.Errorf("pricing: SGD feature dimension %d, want %d", len(x), len(s.theta))
+	}
+	if s.pending {
+		return Quote{}, ErrPendingRound
+	}
+	s.t++
+	s.counters.Rounds++
+	est := x.Dot(s.theta)
+	price := est - s.expl/math.Cbrt(float64(s.t))
+	q := Quote{Lower: price, Upper: est, Decision: DecisionExploratory}
+	if s.useReserve && reserve > price {
+		price = reserve
+		q.ReserveBinding = true
+	}
+	q.Price = price
+	s.counters.Exploratory++
+	s.pending = true
+	s.lastX = x.Clone()
+	s.lastP = price
+	s.lastEst = est
+	return q, nil
+}
+
+// Observe performs the gradient step: on rejection the estimate was too
+// high along x (step down); on acceptance too low (step up). The step
+// size decays as eta0/√t.
+func (s *SGDPoster) Observe(accepted bool) error {
+	if !s.pending {
+		return ErrNoPendingRound
+	}
+	s.pending = false
+	if accepted {
+		s.counters.Accepts++
+	} else {
+		s.counters.Rejects++
+	}
+	eta := s.eta0 / math.Sqrt(float64(s.t))
+	// Surrogate gradient: sign of the pricing error along x.
+	dir := 1.0
+	if !accepted {
+		dir = -1
+	}
+	s.theta.AddScaled(eta*dir, s.lastX)
+	return nil
+}
+
+var _ Poster = (*SGDPoster)(nil)

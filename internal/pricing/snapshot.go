@@ -1,0 +1,117 @@
+package pricing
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"datamarket/internal/ellipsoid"
+	"datamarket/internal/linalg"
+)
+
+// Snapshot is the serializable state of a Mechanism: everything needed to
+// resume pricing in a new process. Pending feedback is not serializable —
+// snapshot between rounds (after Observe, before the next PostPrice).
+type Snapshot struct {
+	// Version guards the wire format.
+	Version int `json:"version"`
+	// N is the feature dimension.
+	N int `json:"n"`
+	// Shape is the row-major n×n shape matrix A of the knowledge set.
+	Shape []float64 `json:"shape"`
+	// Center is the ellipsoid center c.
+	Center []float64 `json:"center"`
+	// Threshold, Delta, UseReserve, ConservativeCuts mirror the options.
+	Threshold        float64 `json:"threshold"`
+	Delta            float64 `json:"delta"`
+	UseReserve       bool    `json:"use_reserve"`
+	ConservativeCuts bool    `json:"conservative_cuts"`
+	// Counters carries the run statistics.
+	Counters Counters `json:"counters"`
+}
+
+// snapshotVersion is the current wire format version.
+const snapshotVersion = 1
+
+// Snapshot captures the mechanism state. It fails if a round is pending
+// feedback.
+func (m *Mechanism) Snapshot() (*Snapshot, error) {
+	if m.pending {
+		return nil, fmt.Errorf("pricing: cannot snapshot with a round pending feedback")
+	}
+	shape := m.ell.Shape()
+	flat := make([]float64, 0, m.n*m.n)
+	for i := 0; i < m.n; i++ {
+		flat = append(flat, shape.Row(i)...)
+	}
+	return &Snapshot{
+		Version:          snapshotVersion,
+		N:                m.n,
+		Shape:            flat,
+		Center:           m.ell.Center(),
+		Threshold:        m.cfg.eps,
+		Delta:            m.cfg.delta,
+		UseReserve:       m.cfg.useReserve,
+		ConservativeCuts: m.cfg.conservativeCuts,
+		Counters:         m.counters,
+	}, nil
+}
+
+// MarshalJSON is provided on Snapshot implicitly via its exported fields;
+// Encode/Decode helpers wrap the round trip.
+
+// Encode serializes the snapshot to JSON.
+func (s *Snapshot) Encode() ([]byte, error) { return json.Marshal(s) }
+
+// DecodeSnapshot parses a snapshot produced by Encode.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("pricing: decoding snapshot: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("pricing: unsupported snapshot version %d", s.Version)
+	}
+	return &s, nil
+}
+
+// Restore rebuilds a Mechanism from a snapshot.
+func Restore(s *Snapshot) (*Mechanism, error) {
+	if s == nil {
+		return nil, fmt.Errorf("pricing: nil snapshot")
+	}
+	if s.N <= 0 {
+		return nil, fmt.Errorf("pricing: snapshot dimension %d invalid", s.N)
+	}
+	if len(s.Shape) != s.N*s.N {
+		return nil, fmt.Errorf("pricing: snapshot shape has %d entries, want %d", len(s.Shape), s.N*s.N)
+	}
+	if len(s.Center) != s.N {
+		return nil, fmt.Errorf("pricing: snapshot center has %d entries, want %d", len(s.Center), s.N)
+	}
+	if s.Threshold <= 0 {
+		return nil, fmt.Errorf("pricing: snapshot threshold %g invalid", s.Threshold)
+	}
+	if s.Delta < 0 {
+		return nil, fmt.Errorf("pricing: snapshot delta %g invalid", s.Delta)
+	}
+	shape := linalg.NewMatrix(s.N, s.N)
+	for i := 0; i < s.N; i++ {
+		copy(shape.Row(i), s.Shape[i*s.N:(i+1)*s.N])
+	}
+	ell, err := ellipsoid.New(shape, linalg.Vector(s.Center))
+	if err != nil {
+		return nil, fmt.Errorf("pricing: snapshot knowledge set invalid: %w", err)
+	}
+	return &Mechanism{
+		n:   s.N,
+		ell: ell,
+		cfg: config{
+			useReserve:       s.UseReserve,
+			delta:            s.Delta,
+			eps:              s.Threshold,
+			epsSet:           true,
+			conservativeCuts: s.ConservativeCuts,
+		},
+		counters: s.Counters,
+	}, nil
+}

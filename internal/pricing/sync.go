@@ -1,0 +1,58 @@
+package pricing
+
+import (
+	"sync"
+
+	"datamarket/internal/linalg"
+)
+
+// SyncPoster wraps any Poster with a mutex so a single pricing stream can
+// be driven from multiple goroutines (e.g. an HTTP handler per request).
+// The PostPrice/Observe protocol remains one-round-at-a-time; Quote is
+// the caller's cue to respond before the next round, so the typical
+// pattern is to hold the round open inside one request handler via
+// PriceRound.
+type SyncPoster struct {
+	mu    sync.Mutex
+	inner Poster
+}
+
+// NewSync wraps a Poster for concurrent use.
+func NewSync(inner Poster) *SyncPoster { return &SyncPoster{inner: inner} }
+
+// PostPrice locks and forwards.
+func (s *SyncPoster) PostPrice(x linalg.Vector, reserve float64) (Quote, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.PostPrice(x, reserve)
+}
+
+// Observe locks and forwards.
+func (s *SyncPoster) Observe(accepted bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Observe(accepted)
+}
+
+// PriceRound runs one full round atomically: post the price, obtain the
+// buyer's decision from respond, and deliver the feedback — all under the
+// lock, so concurrent callers interleave at round granularity.
+func (s *SyncPoster) PriceRound(x linalg.Vector, reserve float64,
+	respond func(Quote) bool) (Quote, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, err := s.inner.PostPrice(x, reserve)
+	if err != nil {
+		return Quote{}, false, err
+	}
+	if q.Decision == DecisionSkip {
+		return q, false, nil
+	}
+	accepted := respond(q)
+	if err := s.inner.Observe(accepted); err != nil {
+		return q, accepted, err
+	}
+	return q, accepted, nil
+}
+
+var _ Poster = (*SyncPoster)(nil)

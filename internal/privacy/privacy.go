@@ -1,0 +1,175 @@
+// Package privacy implements the differential-privacy substrate the data
+// market depends on: the Laplace mechanism for noisy linear queries, the
+// per-owner privacy leakage quantification, and the bounded (tanh-based)
+// compensation contracts that turn leakage into money — the construction
+// the paper adopts from Li et al., "A theory of pricing private data"
+// (reference [8]), in §V-A.
+//
+// The pipeline for one query is:
+//
+//	leakage εᵢ = |wᵢ|·Δᵢ / b        (Laplace mechanism, noise scale b)
+//	compensation πᵢ = ρᵢ·tanh(η·εᵢ) (bounded contract)
+//	reserve price  q = Σᵢ πᵢ        (total compensation)
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"datamarket/internal/linalg"
+	"datamarket/internal/randx"
+)
+
+// LinearQuery is a data consumer's query: a weighted sum over the data
+// owners' values with Laplace noise calibrated to the requested variance.
+// The pair (weights, variance) is exactly the customization surface the
+// paper gives consumers — the analysis (weights) and the accuracy (noise).
+type LinearQuery struct {
+	// Weights has one entry per data owner.
+	Weights linalg.Vector
+	// NoiseVariance is the variance of the Laplace noise added to the true
+	// answer; larger variance means cheaper, more private answers.
+	NoiseVariance float64
+}
+
+// NewLinearQuery validates and builds a query.
+func NewLinearQuery(weights linalg.Vector, noiseVariance float64) (*LinearQuery, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("privacy: query needs at least one weight")
+	}
+	if !weights.IsFinite() {
+		return nil, fmt.Errorf("privacy: query weights must be finite")
+	}
+	if noiseVariance <= 0 || math.IsInf(noiseVariance, 0) || math.IsNaN(noiseVariance) {
+		return nil, fmt.Errorf("privacy: noise variance must be positive and finite, got %g", noiseVariance)
+	}
+	return &LinearQuery{Weights: weights.Clone(), NoiseVariance: noiseVariance}, nil
+}
+
+// NoiseScale returns the Laplace scale b = √(variance/2).
+func (q *LinearQuery) NoiseScale() float64 { return math.Sqrt(q.NoiseVariance / 2) }
+
+// TrueAnswer returns Σ wᵢ·dᵢ over the owners' data values.
+func (q *LinearQuery) TrueAnswer(data linalg.Vector) (float64, error) {
+	if len(data) != len(q.Weights) {
+		return 0, fmt.Errorf("privacy: query over %d owners, dataset has %d", len(q.Weights), len(data))
+	}
+	return q.Weights.Dot(data), nil
+}
+
+// Answer returns the noisy answer: the true answer plus Laplace noise of
+// the requested variance — the Laplace mechanism.
+func (q *LinearQuery) Answer(data linalg.Vector, rng *randx.RNG) (float64, error) {
+	t, err := q.TrueAnswer(data)
+	if err != nil {
+		return 0, err
+	}
+	return t + rng.Laplace(0, q.NoiseScale()), nil
+}
+
+// Leakages quantifies each owner's differential privacy leakage under the
+// query: εᵢ = |wᵢ|·Δᵢ/b, where Δᵢ bounds the range of owner i's value and
+// b is the Laplace noise scale. This is the standard per-owner sensitivity
+// analysis of the Laplace mechanism: changing owner i's value by at most
+// Δᵢ shifts the true answer by at most |wᵢ|·Δᵢ.
+func (q *LinearQuery) Leakages(ranges linalg.Vector) (linalg.Vector, error) {
+	if len(ranges) != len(q.Weights) {
+		return nil, fmt.Errorf("privacy: %d ranges for %d owners", len(ranges), len(q.Weights))
+	}
+	b := q.NoiseScale()
+	eps := make(linalg.Vector, len(q.Weights))
+	for i, w := range q.Weights {
+		if ranges[i] < 0 {
+			return nil, fmt.Errorf("privacy: negative data range for owner %d", i)
+		}
+		eps[i] = math.Abs(w) * ranges[i] / b
+	}
+	return eps, nil
+}
+
+// Contract is a privacy compensation contract π(ε): the payment an owner
+// receives for a leakage of ε. Contracts must be non-negative,
+// non-decreasing, and zero at zero leakage.
+type Contract interface {
+	// Compensation returns π(ε) for leakage ε ≥ 0.
+	Compensation(eps float64) float64
+	// Name identifies the contract for reports.
+	Name() string
+}
+
+// TanhContract is the bounded contract π(ε) = ρ·tanh(η·ε): payments grow
+// almost linearly (slope ρη) for small leakages and saturate at ρ, so an
+// owner's total exposure is capped no matter how invasive the query. This
+// is the "tanh based privacy compensation function" the paper adopts for
+// the MovieLens experiment.
+type TanhContract struct {
+	// Rho is the saturation payment ρ > 0.
+	Rho float64
+	// Eta is the sensitivity η > 0 of payment to leakage.
+	Eta float64
+}
+
+// NewTanhContract validates and builds a tanh contract.
+func NewTanhContract(rho, eta float64) (TanhContract, error) {
+	if rho <= 0 || eta <= 0 {
+		return TanhContract{}, fmt.Errorf("privacy: tanh contract needs positive rho and eta, got %g, %g", rho, eta)
+	}
+	return TanhContract{Rho: rho, Eta: eta}, nil
+}
+
+// Compensation returns ρ·tanh(η·ε) (0 for ε ≤ 0).
+func (c TanhContract) Compensation(eps float64) float64 {
+	if eps <= 0 {
+		return 0
+	}
+	return c.Rho * math.Tanh(c.Eta*eps)
+}
+
+// Name identifies the contract.
+func (c TanhContract) Name() string {
+	return fmt.Sprintf("tanh(ρ=%g,η=%g)", c.Rho, c.Eta)
+}
+
+// LinearContract is the unbounded contract π(ε) = ρ·ε, the other canonical
+// family from Li et al.; useful for sensitivity ablations.
+type LinearContract struct {
+	// Rho is the payment per unit of leakage.
+	Rho float64
+}
+
+// NewLinearContract validates and builds a linear contract.
+func NewLinearContract(rho float64) (LinearContract, error) {
+	if rho <= 0 {
+		return LinearContract{}, fmt.Errorf("privacy: linear contract needs positive rho, got %g", rho)
+	}
+	return LinearContract{Rho: rho}, nil
+}
+
+// Compensation returns ρ·ε (0 for ε ≤ 0).
+func (c LinearContract) Compensation(eps float64) float64 {
+	if eps <= 0 {
+		return 0
+	}
+	return c.Rho * eps
+}
+
+// Name identifies the contract.
+func (c LinearContract) Name() string { return fmt.Sprintf("linear(ρ=%g)", c.Rho) }
+
+// Compensations applies each owner's contract to the leakage vector.
+func Compensations(leakages linalg.Vector, contracts []Contract) (linalg.Vector, error) {
+	if len(leakages) != len(contracts) {
+		return nil, fmt.Errorf("privacy: %d leakages for %d contracts", len(leakages), len(contracts))
+	}
+	out := make(linalg.Vector, len(leakages))
+	for i, eps := range leakages {
+		if contracts[i] == nil {
+			return nil, fmt.Errorf("privacy: nil contract for owner %d", i)
+		}
+		out[i] = contracts[i].Compensation(eps)
+	}
+	return out, nil
+}
+
+// TotalCompensation returns Σπᵢ — the query's reserve price.
+func TotalCompensation(comps linalg.Vector) float64 { return comps.Sum() }

@@ -1,0 +1,196 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"datamarket/internal/linalg"
+	"datamarket/internal/randx"
+)
+
+func TestNewLinearQueryValidation(t *testing.T) {
+	if _, err := NewLinearQuery(nil, 1); err == nil {
+		t.Fatal("expected error for empty weights")
+	}
+	if _, err := NewLinearQuery(linalg.VectorOf(math.NaN()), 1); err == nil {
+		t.Fatal("expected error for NaN weight")
+	}
+	if _, err := NewLinearQuery(linalg.VectorOf(1), 0); err == nil {
+		t.Fatal("expected error for zero variance")
+	}
+	q, err := NewLinearQuery(linalg.VectorOf(1, -2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.NoiseScale(); got != 2 {
+		t.Fatalf("NoiseScale = %v, want 2 for variance 8", got)
+	}
+	// Weights are copied, not aliased.
+	w := linalg.VectorOf(5)
+	q2, _ := NewLinearQuery(w, 1)
+	w[0] = 99
+	if q2.Weights[0] != 5 {
+		t.Fatal("query aliased caller weights")
+	}
+}
+
+func TestTrueAnswerAndNoise(t *testing.T) {
+	q, _ := NewLinearQuery(linalg.VectorOf(1, 2, 3), 2)
+	data := linalg.VectorOf(1, 1, 1)
+	ta, err := q.TrueAnswer(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta != 6 {
+		t.Fatalf("TrueAnswer = %v", ta)
+	}
+	if _, err := q.TrueAnswer(linalg.VectorOf(1)); err == nil {
+		t.Fatal("expected length error")
+	}
+	// Noisy answers are unbiased with the requested variance.
+	r := randx.New(7)
+	const n = 100000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		a, err := q.Answer(data, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := a - 6
+		sum += d
+		sumsq += d * d
+	}
+	if math.Abs(sum/n) > 0.02 {
+		t.Errorf("noise mean %v", sum/n)
+	}
+	if math.Abs(sumsq/n-2)/2 > 0.05 {
+		t.Errorf("noise variance %v, want ~2", sumsq/n)
+	}
+}
+
+func TestLeakages(t *testing.T) {
+	q, _ := NewLinearQuery(linalg.VectorOf(1, -2, 0), 2) // b = 1
+	ranges := linalg.VectorOf(1, 0.5, 3)
+	eps, err := q.Leakages(ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := linalg.VectorOf(1, 1, 0)
+	if !eps.Equal(want, 1e-12) {
+		t.Fatalf("leakages = %v, want %v", eps, want)
+	}
+	if _, err := q.Leakages(linalg.VectorOf(1)); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := q.Leakages(linalg.VectorOf(1, -1, 1)); err == nil {
+		t.Fatal("expected negative range error")
+	}
+}
+
+// Leakage scales inversely with noise scale: more noise, more privacy.
+func TestLeakageMonotoneInNoise(t *testing.T) {
+	w := linalg.VectorOf(1, 2)
+	ranges := linalg.VectorOf(1, 1)
+	prev := math.Inf(1)
+	for _, variance := range []float64{0.1, 1, 10, 100} {
+		q, _ := NewLinearQuery(w, variance)
+		eps, _ := q.Leakages(ranges)
+		if eps.Sum() >= prev {
+			t.Fatalf("leakage not decreasing in noise at variance %v", variance)
+		}
+		prev = eps.Sum()
+	}
+}
+
+func TestTanhContract(t *testing.T) {
+	c, err := NewTanhContract(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Compensation(0) != 0 || c.Compensation(-1) != 0 {
+		t.Fatal("zero/negative leakage must pay 0")
+	}
+	// Saturation at ρ.
+	if got := c.Compensation(100); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("saturated compensation = %v, want 2", got)
+	}
+	// Small-leakage slope ≈ ρη.
+	small := 1e-6
+	if got := c.Compensation(small) / small; math.Abs(got-6) > 1e-3 {
+		t.Fatalf("initial slope = %v, want 6", got)
+	}
+	if _, err := NewTanhContract(0, 1); err == nil {
+		t.Fatal("expected rho error")
+	}
+	if _, err := NewTanhContract(1, 0); err == nil {
+		t.Fatal("expected eta error")
+	}
+}
+
+func TestLinearContract(t *testing.T) {
+	c, err := NewLinearContract(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Compensation(2); got != 3 {
+		t.Fatalf("compensation = %v", got)
+	}
+	if c.Compensation(-1) != 0 {
+		t.Fatal("negative leakage must pay 0")
+	}
+	if _, err := NewLinearContract(0); err == nil {
+		t.Fatal("expected rho error")
+	}
+}
+
+// Property: contracts are non-negative and non-decreasing in leakage.
+func TestContractMonotoneProperty(t *testing.T) {
+	tc, _ := NewTanhContract(1.3, 0.8)
+	lc, _ := NewLinearContract(0.9)
+	f := func(a, b float64) bool {
+		x := math.Abs(math.Mod(a, 100))
+		y := math.Abs(math.Mod(b, 100))
+		if x > y {
+			x, y = y, x
+		}
+		for _, c := range []Contract{tc, lc} {
+			if c.Compensation(x) < 0 || c.Compensation(x) > c.Compensation(y)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompensationsAndTotal(t *testing.T) {
+	tc, _ := NewTanhContract(1, 1)
+	lc, _ := NewLinearContract(2)
+	comps, err := Compensations(linalg.VectorOf(1, 0.5), []Contract{tc, lc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(comps[0]-math.Tanh(1)) > 1e-12 || comps[1] != 1 {
+		t.Fatalf("comps = %v", comps)
+	}
+	if got := TotalCompensation(comps); math.Abs(got-(math.Tanh(1)+1)) > 1e-12 {
+		t.Fatalf("total = %v", got)
+	}
+	if _, err := Compensations(linalg.VectorOf(1), []Contract{tc, lc}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := Compensations(linalg.VectorOf(1), []Contract{nil}); err == nil {
+		t.Fatal("expected nil contract error")
+	}
+}
+
+func TestContractNames(t *testing.T) {
+	tc, _ := NewTanhContract(1, 2)
+	lc, _ := NewLinearContract(3)
+	if tc.Name() == "" || lc.Name() == "" {
+		t.Fatal("empty contract names")
+	}
+}

@@ -1,0 +1,222 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds coincided %d/100 times", same)
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	a := NewStream(1, 100)
+	b := NewStream(1, 200)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams coincided %d/100 times", same)
+	}
+}
+
+func TestSplitDiverges(t *testing.T) {
+	r := New(7)
+	c1 := r.Split()
+	c2 := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split children coincided %d/100 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	r := New(2)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.Uniform(-1, 1)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	varc := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0", mean)
+	}
+	if math.Abs(varc-1.0/3) > 0.01 {
+		t.Errorf("uniform variance = %v, want ~1/3", varc)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(3)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.Normal(2, 3)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	varc := sumsq/n - mean*mean
+	if math.Abs(mean-2) > 0.03 {
+		t.Errorf("normal mean = %v, want ~2", mean)
+	}
+	if math.Abs(varc-9) > 0.15 {
+		t.Errorf("normal variance = %v, want ~9", varc)
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	r := New(4)
+	const n = 300000
+	scale := 2.0
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.Laplace(0, scale)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	varc := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("laplace mean = %v, want ~0", mean)
+	}
+	if math.Abs(varc-2*scale*scale)/(2*scale*scale) > 0.03 {
+		t.Errorf("laplace variance = %v, want ~%v", varc, 2*scale*scale)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	rate := 4.0
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.Exponential(rate)
+		if x < 0 {
+			t.Fatalf("negative exponential draw %v", x)
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-1/rate) > 0.005 {
+		t.Errorf("exponential mean = %v, want ~%v", mean, 1/rate)
+	}
+}
+
+func TestRademacher(t *testing.T) {
+	r := New(6)
+	counts := map[float64]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Rademacher()]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("Rademacher support = %v", counts)
+	}
+	if math.Abs(float64(counts[1])/n-0.5) > 0.01 {
+		t.Errorf("Rademacher bias: %v", counts)
+	}
+}
+
+func TestIntnUnbiased(t *testing.T) {
+	r := New(7)
+	const n, k = 120000, 6
+	counts := make([]int, k)
+	for i := 0; i < n; i++ {
+		v := r.Intn(k)
+		if v < 0 || v >= k {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)/n-1.0/k) > 0.01 {
+			t.Errorf("Intn bucket %d frequency %v", i, float64(c)/n)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(8)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestOnSphereAndInBall(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 100; i++ {
+		s := r.OnSphere(5)
+		if math.Abs(s.Norm2()-1) > 1e-12 {
+			t.Fatalf("sphere point norm %v", s.Norm2())
+		}
+		b := r.InBall(5)
+		if b.Norm2() > 1+1e-12 {
+			t.Fatalf("ball point norm %v", b.Norm2())
+		}
+	}
+}
+
+func TestVectorSamplers(t *testing.T) {
+	r := New(10)
+	v := r.NormalVector(1000, 2)
+	if len(v) != 1000 {
+		t.Fatalf("length %d", len(v))
+	}
+	u := r.UniformVector(1000, -3, 3)
+	for _, x := range u {
+		if x < -3 || x >= 3 {
+			t.Fatalf("uniform vector entry out of range: %v", x)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package stats provides the descriptive statistics used by the evaluation
+// harness: streaming (Welford) mean/variance accumulators, batch summaries,
+// quantiles, and histograms. Table I of the paper reports per-round means
+// and standard deviations of market value, reserve price, posted price, and
+// regret — the Summary type here is what produces those columns.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Online accumulates count, mean, and variance in one pass using Welford's
+// algorithm, which is numerically stable for long streams.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// NewOnline returns an empty accumulator.
+func NewOnline() *Online {
+	return &Online{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Add folds one observation into the accumulator.
+func (o *Online) Add(x float64) {
+	o.n++
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+	if x < o.min {
+		o.min = x
+	}
+	if x > o.max {
+		o.max = x
+	}
+}
+
+// AddAll folds a batch of observations.
+func (o *Online) AddAll(xs []float64) {
+	for _, x := range xs {
+		o.Add(x)
+	}
+}
+
+// Count returns the number of observations.
+func (o *Online) Count() int { return o.n }
+
+// Mean returns the running mean (0 if empty).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Variance returns the population variance (0 if fewer than 2 samples).
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n)
+}
+
+// SampleVariance returns the Bessel-corrected variance.
+func (o *Online) SampleVariance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// Std returns the population standard deviation.
+func (o *Online) Std() float64 { return math.Sqrt(o.Variance()) }
+
+// Min returns the minimum observation (+Inf if empty).
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the maximum observation (−Inf if empty).
+func (o *Online) Max() float64 { return o.max }
+
+// Merge folds another accumulator into o (parallel Welford merge).
+func (o *Online) Merge(p *Online) {
+	if p.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = *p
+		return
+	}
+	n := o.n + p.n
+	d := p.mean - o.mean
+	mean := o.mean + d*float64(p.n)/float64(n)
+	m2 := o.m2 + p.m2 + d*d*float64(o.n)*float64(p.n)/float64(n)
+	o.n, o.mean, o.m2 = n, mean, m2
+	if p.min < o.min {
+		o.min = p.min
+	}
+	if p.max > o.max {
+		o.max = p.max
+	}
+}
+
+// Summary is a batch description of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs (population std).
+func Summarize(xs []float64) Summary {
+	o := NewOnline()
+	o.AddAll(xs)
+	s := Summary{
+		Count: o.Count(), Mean: o.Mean(), Std: o.Std(),
+		Min: o.Min(), Max: o.Max(),
+	}
+	if len(xs) > 0 {
+		s.Median = Quantile(xs, 0.5)
+	}
+	return s
+}
+
+// String renders the mean (std) format used throughout Table I.
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3f (%.3f)", s.Mean, s.Std)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 {
+	o := NewOnline()
+	o.AddAll(xs)
+	return o.Std()
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) using linear
+// interpolation between order statistics. It copies and sorts xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Histogram buckets xs into k equal-width bins spanning [min, max].
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram builds a k-bin histogram of xs. k must be positive.
+func NewHistogram(xs []float64, k int) (*Histogram, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs positive bin count, got %d", k)
+	}
+	if len(xs) == 0 {
+		return &Histogram{Counts: make([]int, k)}, nil
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, k)}
+	width := (hi - lo) / float64(k)
+	for _, x := range xs {
+		var b int
+		if width > 0 {
+			b = int((x - lo) / width)
+		}
+		if b >= k {
+			b = k - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h.Counts[b]++
+	}
+	return h, nil
+}
+
+// Total returns the number of observations in the histogram.
+func (h *Histogram) Total() int {
+	var t int
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// CumSum returns the running prefix sums of xs; CumSum(xs)[i] = Σ_{k≤i} xs[k].
+// The regret curves of Fig. 4 are cumulative sums of per-round regrets.
+func CumSum(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	var s float64
+	for i, x := range xs {
+		s += x
+		out[i] = s
+	}
+	return out
+}
+
+// RatioSeries returns num[i]/den[i] with 0 where den[i] == 0; it produces
+// the regret-ratio curves of Fig. 5.
+func RatioSeries(num, den []float64) []float64 {
+	if len(num) != len(den) {
+		panic("stats: RatioSeries length mismatch")
+	}
+	out := make([]float64, len(num))
+	for i := range num {
+		if den[i] != 0 {
+			out[i] = num[i] / den[i]
+		}
+	}
+	return out
+}
