@@ -1,0 +1,80 @@
+// Command brokerd serves the ellipsoid posted-price mechanism over
+// HTTP/JSON: many independent pricing streams (one per consumer segment
+// or query family) behind a sharded registry.
+//
+// Usage:
+//
+//	brokerd -addr :8080 -shards 32
+//
+// Quickstart:
+//
+//	curl -X POST localhost:8080/v1/streams \
+//	     -d '{"id":"segment-a","dim":5,"reserve":true,"horizon":10000}'
+//	curl -X POST localhost:8080/v1/streams/segment-a/price \
+//	     -d '{"features":[0.2,0.1,0.3,0.2,0.2],"reserve":0.4,"valuation":1.1}'
+//	curl localhost:8080/v1/streams/segment-a/stats
+//	curl localhost:8080/v1/streams/segment-a/snapshot > segment-a.json
+//	curl -X POST localhost:8080/v1/streams/segment-a/restore -d @segment-a.json
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"datamarket/internal/server"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		shards = flag.Int("shards", server.DefaultShards, "registry shard count")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *shards); err != nil {
+		fmt.Fprintln(os.Stderr, "brokerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, shards int) error {
+	srv := server.NewServer(server.NewRegistry(shards))
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("brokerd listening on %s (%d shards)", addr, shards)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		log.Printf("brokerd: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

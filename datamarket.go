@@ -71,6 +71,18 @@ type Model = pricing.Model
 // Poster is the interface satisfied by every pricing strategy.
 type Poster = pricing.Poster
 
+// RoundPoster is a Poster that can run one full post-respond-observe
+// round atomically (SyncPoster implements it).
+type RoundPoster = pricing.RoundPoster
+
+// SyncPoster makes any Poster safe for concurrent round-at-a-time use;
+// brokerd hosts one per stream.
+type SyncPoster = pricing.SyncPoster
+
+// MechanismSnapshot is the durable state of a Mechanism, for crash
+// recovery and migration.
+type MechanismSnapshot = pricing.Snapshot
+
 // Tracker accumulates regret series and Table I statistics.
 type Tracker = pricing.Tracker
 
@@ -113,6 +125,17 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) { return market.NewBroker(cfg)
 
 // NewTracker builds a regret tracker; keepRecords retains per-round rows.
 func NewTracker(keepRecords bool) *Tracker { return pricing.NewTracker(keepRecords) }
+
+// NewSyncPoster wraps a Poster for concurrent use.
+func NewSyncPoster(inner Poster) *SyncPoster { return pricing.NewSync(inner) }
+
+// RestoreMechanism rebuilds a Mechanism from a snapshot.
+func RestoreMechanism(s *MechanismSnapshot) (*Mechanism, error) { return pricing.Restore(s) }
+
+// DecodeMechanismSnapshot parses a snapshot encoded with Snapshot.Encode.
+func DecodeMechanismSnapshot(data []byte) (*MechanismSnapshot, error) {
+	return pricing.DecodeSnapshot(data)
+}
 
 // WithReserve enables the reserve price constraint (Algorithms 1 and 2).
 func WithReserve() Option { return pricing.WithReserve() }

@@ -1,0 +1,3 @@
+module datamarket
+
+go 1.24

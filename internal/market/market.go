@@ -8,6 +8,7 @@ package market
 
 import (
 	"fmt"
+	"sync"
 
 	"datamarket/internal/feature"
 	"datamarket/internal/linalg"
@@ -58,6 +59,12 @@ type Transaction struct {
 
 // Broker runs the data market: it owns the dataset, the compensation
 // machinery, the feature pipeline, and the pricing mechanism.
+//
+// Trade is safe for concurrent use when the configured mechanism is
+// itself concurrency-safe (e.g. a pricing.SyncPoster): the pricing round
+// runs atomically through pricing.RoundPoster when available, and the
+// broker's own ledger and payout state are guarded by an internal mutex.
+// Under concurrency, ledger order may differ from pricing-round order.
 type Broker struct {
 	owners    []Owner
 	values    linalg.Vector
@@ -66,8 +73,9 @@ type Broker struct {
 
 	mech       pricing.Poster
 	featureDim int
-	rng        *randx.RNG
 
+	mu      sync.Mutex // guards rng, ledger, tracker, ownerPayout
+	rng     *randx.RNG
 	ledger  []Transaction
 	tracker *pricing.Tracker
 
@@ -178,15 +186,47 @@ func (b *Broker) Prepare(q *privacy.LinearQuery) (*QuoteContext, error) {
 // Trade executes one full round: prepare, post a price, observe the
 // consumer's decision, settle payments, and append to the ledger. The
 // consumer accepts iff the posted price is at most her valuation.
+//
+// When the mechanism implements pricing.RoundPoster (SyncPoster does),
+// the post-observe pair runs atomically so concurrent trades cannot
+// interleave inside a round; otherwise the split calls are used and the
+// caller must serialize trades herself.
 func (b *Broker) Trade(query Query) (Transaction, error) {
 	ctx, err := b.Prepare(query.Q)
 	if err != nil {
 		return Transaction{}, err
 	}
-	quote, err := b.mech.PostPrice(ctx.Features, ctx.Reserve)
-	if err != nil {
-		return Transaction{}, fmt.Errorf("market: posting price: %w", err)
+
+	var (
+		quote pricing.Quote
+		sold  bool
+	)
+	if rp, ok := b.mech.(pricing.RoundPoster); ok {
+		quote, sold, err = rp.PriceRound(ctx.Features, ctx.Reserve, func(q pricing.Quote) bool {
+			return pricing.Sold(q.Price, query.Valuation)
+		})
+		if err != nil {
+			return Transaction{}, fmt.Errorf("market: pricing round: %w", err)
+		}
+	} else {
+		quote, err = b.mech.PostPrice(ctx.Features, ctx.Reserve)
+		if err != nil {
+			return Transaction{}, fmt.Errorf("market: posting price: %w", err)
+		}
+		if quote.Decision != pricing.DecisionSkip {
+			sold = pricing.Sold(quote.Price, query.Valuation)
+			if err := b.mech.Observe(sold); err != nil {
+				return Transaction{}, fmt.Errorf("market: observing feedback: %w", err)
+			}
+		}
 	}
+	return b.settle(query, ctx, quote, sold)
+}
+
+// settle updates the broker's books for one priced round under the lock.
+func (b *Broker) settle(query Query, ctx *QuoteContext, quote pricing.Quote, sold bool) (Transaction, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 
 	tx := Transaction{
 		Round:       len(b.ledger) + 1,
@@ -199,10 +239,7 @@ func (b *Broker) Trade(query Query) (Transaction, error) {
 		tx.Posted = ctx.Reserve
 	} else {
 		tx.Posted = quote.Price
-		tx.Sold = pricing.Sold(quote.Price, query.Valuation)
-		if err := b.mech.Observe(tx.Sold); err != nil {
-			return Transaction{}, fmt.Errorf("market: observing feedback: %w", err)
-		}
+		tx.Sold = sold
 	}
 
 	if tx.Sold {
@@ -230,14 +267,22 @@ func (b *Broker) Trade(query Query) (Transaction, error) {
 	return tx, nil
 }
 
-// Ledger returns the recorded transactions (shared slice; do not mutate).
-func (b *Broker) Ledger() []Transaction { return b.ledger }
+// Ledger returns the recorded transactions (shared slice; do not mutate,
+// and do not call while trades are in flight).
+func (b *Broker) Ledger() []Transaction {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ledger
+}
 
-// Tracker returns the broker's regret tracker.
+// Tracker returns the broker's regret tracker. The tracker is not itself
+// safe for concurrent use; read it only after in-flight trades finish.
 func (b *Broker) Tracker() *pricing.Tracker { return b.tracker }
 
 // OwnerPayout returns the cumulative compensation paid to owner i.
 func (b *Broker) OwnerPayout(i int) (float64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if i < 0 || i >= len(b.ownerPayout) {
 		return 0, fmt.Errorf("market: owner %d out of range", i)
 	}
@@ -247,6 +292,8 @@ func (b *Broker) OwnerPayout(i int) (float64, error) {
 // TotalProfit returns Σ (revenue − compensation) over all transactions;
 // the reserve price constraint guarantees it is non-negative.
 func (b *Broker) TotalProfit() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	var s float64
 	for _, tx := range b.ledger {
 		s += tx.Profit
@@ -256,6 +303,8 @@ func (b *Broker) TotalProfit() float64 {
 
 // TotalRevenue returns the total price collected from consumers.
 func (b *Broker) TotalRevenue() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	var s float64
 	for _, tx := range b.ledger {
 		s += tx.Revenue

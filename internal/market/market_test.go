@@ -1,7 +1,9 @@
 package market
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"datamarket/internal/linalg"
@@ -287,5 +289,101 @@ func TestConsumerNoiseInjection(t *testing.T) {
 	}
 	if outside == 0 {
 		t.Fatal("noise appears to have no effect on valuations")
+	}
+}
+
+// TestTradeConcurrent drives one broker from many goroutines through a
+// SyncPoster-wrapped mechanism — the server-hosted configuration. Run
+// with -race; it checks that the ledger, payouts, and mechanism counters
+// stay consistent under concurrent trades.
+func TestTradeConcurrent(t *testing.T) {
+	const (
+		owners  = 30
+		n       = 4
+		workers = 8
+		perW    = 150
+	)
+	ownerPop := testOwners(t, owners, 20)
+	mech := testMechanism(t, n, workers*perW)
+	b, err := NewBroker(Config{
+		Owners:      ownerPop,
+		Mechanism:   pricing.NewSync(mech),
+		FeatureDim:  n,
+		Seed:        21,
+		KeepRecords: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := randx.New(22)
+	theta := r0.NormalVector(n, 1)
+	for i := range theta {
+		theta[i] = math.Abs(theta[i])
+	}
+	theta.Normalize()
+	theta.Scale(math.Sqrt(2 * float64(n)))
+	cm, err := NewConsumerModel(ConsumerConfig{
+		Owners: ownerPop, FeatureDim: n, Theta: theta,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-draw the queries: the consumer model RNG is not concurrent.
+	rng := randx.New(23)
+	queries := make([]Query, workers*perW)
+	for i := range queries {
+		q, err := cm.NextQuery(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[i] = q
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w * perW; i < (w+1)*perW; i++ {
+				tx, err := b.Trade(queries[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if tx.Sold && tx.Profit < -1e-9 {
+					errs <- fmt.Errorf("round %d: negative profit %v", tx.Round, tx.Profit)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got := len(b.Ledger()); got != workers*perW {
+		t.Fatalf("ledger has %d entries, want %d", got, workers*perW)
+	}
+	c := mech.Counters()
+	if c.Rounds != workers*perW {
+		t.Fatalf("mechanism saw %d rounds, want %d", c.Rounds, workers*perW)
+	}
+	if c.Accepts+c.Rejects+c.Skips != c.Rounds {
+		t.Fatalf("inconsistent counters under concurrency: %+v", c)
+	}
+	// Every ledger round index appears exactly once.
+	seen := make([]bool, workers*perW+1)
+	for _, tx := range b.Ledger() {
+		if tx.Round < 1 || tx.Round > workers*perW || seen[tx.Round] {
+			t.Fatalf("bad or duplicate round index %d", tx.Round)
+		}
+		seen[tx.Round] = true
+	}
+	if b.TotalProfit() < -1e-9 {
+		t.Fatalf("negative total profit %v", b.TotalProfit())
 	}
 }

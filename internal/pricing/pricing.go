@@ -83,15 +83,15 @@ func (q Quote) Width() float64 { return q.Upper - q.Lower }
 // Counters aggregates per-round bookkeeping across a run. The exploratory
 // count is the quantity T_e bounded by Lemmas 6 and 7.
 type Counters struct {
-	Rounds         int // PostPrice calls
-	Skips          int // certain no-deal rounds (reserve too high)
-	Exploratory    int // exploratory prices posted
-	Conservative   int // conservative prices posted
-	Accepts        int // accepted offers observed
-	Rejects        int // rejected offers observed
-	CutsApplied    int // ellipsoid refinements performed
-	CutsShallow    int // feedbacks too shallow to refine (α ≤ −1/n)
-	CutsInfeasible int // inconsistent feedback (α ≥ 1), ellipsoid kept
+	Rounds         int `json:"rounds"`          // PostPrice calls
+	Skips          int `json:"skips"`           // certain no-deal rounds (reserve too high)
+	Exploratory    int `json:"exploratory"`     // exploratory prices posted
+	Conservative   int `json:"conservative"`    // conservative prices posted
+	Accepts        int `json:"accepts"`         // accepted offers observed
+	Rejects        int `json:"rejects"`         // rejected offers observed
+	CutsApplied    int `json:"cuts_applied"`    // ellipsoid refinements performed
+	CutsShallow    int `json:"cuts_shallow"`    // feedbacks too shallow to refine (α ≤ −1/n)
+	CutsInfeasible int `json:"cuts_infeasible"` // inconsistent feedback (α ≥ 1), ellipsoid kept
 }
 
 // config carries the mechanism options.
@@ -228,6 +228,9 @@ func (m *Mechanism) UsesReserve() bool { return m.cfg.useReserve }
 
 // Counters returns a snapshot of the run statistics.
 func (m *Mechanism) Counters() Counters { return m.counters }
+
+// Pending reports whether a posted price is awaiting Observe.
+func (m *Mechanism) Pending() bool { return m.pending }
 
 // Knowledge returns a copy of the current ellipsoid knowledge set, for
 // inspection, persistence, and tests.

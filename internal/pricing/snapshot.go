@@ -3,6 +3,7 @@ package pricing
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"datamarket/internal/ellipsoid"
 	"datamarket/internal/linalg"
@@ -74,6 +75,9 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	return &s, nil
 }
 
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
 // Restore rebuilds a Mechanism from a snapshot.
 func Restore(s *Snapshot) (*Mechanism, error) {
 	if s == nil {
@@ -88,10 +92,24 @@ func Restore(s *Snapshot) (*Mechanism, error) {
 	if len(s.Center) != s.N {
 		return nil, fmt.Errorf("pricing: snapshot center has %d entries, want %d", len(s.Center), s.N)
 	}
-	if s.Threshold <= 0 {
+	// Hand-edited or corrupted JSON can smuggle NaN/Inf entries past the
+	// structural checks; they would poison every Support call afterwards.
+	for i, v := range s.Shape {
+		if !isFinite(v) {
+			return nil, fmt.Errorf("pricing: snapshot shape entry %d is %g, want finite", i, v)
+		}
+	}
+	for i, v := range s.Center {
+		if !isFinite(v) {
+			return nil, fmt.Errorf("pricing: snapshot center entry %d is %g, want finite", i, v)
+		}
+	}
+	// NaN compares false against everything, so the sign checks below
+	// would let a NaN threshold or delta through without these guards.
+	if !isFinite(s.Threshold) || s.Threshold <= 0 {
 		return nil, fmt.Errorf("pricing: snapshot threshold %g invalid", s.Threshold)
 	}
-	if s.Delta < 0 {
+	if !isFinite(s.Delta) || s.Delta < 0 {
 		return nil, fmt.Errorf("pricing: snapshot delta %g invalid", s.Delta)
 	}
 	shape := linalg.NewMatrix(s.N, s.N)

@@ -1,10 +1,27 @@
 package pricing
 
 import (
+	"fmt"
 	"sync"
 
 	"datamarket/internal/linalg"
 )
+
+// RoundPoster is a Poster that can additionally run one full
+// post-respond-observe round atomically. Servers and brokers that host a
+// mechanism behind concurrent callers should prefer PriceRound over the
+// split PostPrice/Observe calls so rounds never interleave.
+type RoundPoster interface {
+	Poster
+	PriceRound(x linalg.Vector, reserve float64, respond func(Quote) bool) (Quote, bool, error)
+}
+
+// Snapshotter is a Poster whose full state can be captured for durable
+// storage. *Mechanism implements it; wrappers such as SyncPoster forward
+// to the wrapped poster when it does.
+type Snapshotter interface {
+	Snapshot() (*Snapshot, error)
+}
 
 // SyncPoster wraps any Poster with a mutex so a single pricing stream can
 // be driven from multiple goroutines (e.g. an HTTP handler per request).
@@ -46,6 +63,9 @@ func (s *SyncPoster) PriceRound(x linalg.Vector, reserve float64,
 		return Quote{}, false, err
 	}
 	if q.Decision == DecisionSkip {
+		// A skip round posts no price and leaves nothing pending: the
+		// mechanism returns before opening a round, so the next
+		// PostPrice proceeds normally (see TestSyncPosterSkipRound).
 		return q, false, nil
 	}
 	accepted := respond(q)
@@ -55,4 +75,59 @@ func (s *SyncPoster) PriceRound(x linalg.Vector, reserve float64,
 	return q, accepted, nil
 }
 
-var _ Poster = (*SyncPoster)(nil)
+// CounterSource is a Poster that exposes per-round bookkeeping.
+// *Mechanism, *NonlinearMechanism, and *SGDPoster all qualify.
+type CounterSource interface {
+	Counters() Counters
+}
+
+// Counters reads the wrapped poster's counters under the lock. The
+// second return is false when the wrapped poster keeps no counters.
+func (s *SyncPoster) Counters() (Counters, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.inner.(CounterSource)
+	if !ok {
+		return Counters{}, false
+	}
+	return cs.Counters(), true
+}
+
+// Snapshot captures the wrapped poster's state under the lock. It fails
+// if the wrapped poster does not support snapshots or has a round pending
+// feedback.
+func (s *SyncPoster) Snapshot() (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sn, ok := s.inner.(Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("pricing: wrapped poster %T does not support snapshots", s.inner)
+	}
+	return sn.Snapshot()
+}
+
+// RestoreSnapshot atomically replaces the wrapped poster with a Mechanism
+// rebuilt from the snapshot. Concurrent PriceRound callers serialize
+// around the swap, so a live stream can be rolled back in place. It
+// refuses to swap while a two-phase round is pending feedback — the
+// buyer's decision would be silently discarded.
+func (s *SyncPoster) RestoreSnapshot(snap *Snapshot) error {
+	m, err := Restore(snap)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.inner.(interface{ Pending() bool }); ok && p.Pending() {
+		return fmt.Errorf("pricing: cannot restore while a round is pending feedback: %w", ErrPendingRound)
+	}
+	s.inner = m
+	return nil
+}
+
+var (
+	_ Poster      = (*SyncPoster)(nil)
+	_ RoundPoster = (*SyncPoster)(nil)
+	_ Snapshotter = (*SyncPoster)(nil)
+	_ Snapshotter = (*Mechanism)(nil)
+)

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"datamarket/internal/randx"
+)
+
+// benchRegistry builds a registry pre-populated with M streams.
+func benchRegistry(b *testing.B, streams, dim int) (*Registry, []string) {
+	b.Helper()
+	reg := NewRegistry(0)
+	ids := make([]string, streams)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("bench-%04d", i)
+		if _, err := reg.Create(CreateStreamRequest{ID: ids[i], Dim: dim, Threshold: 0.05}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return reg, ids
+}
+
+// BenchmarkRegistryPriceRound is the serving-throughput baseline without
+// HTTP overhead: N goroutines (GOMAXPROCS × b.SetParallelism) drive full
+// price rounds across M streams through the sharded registry.
+func BenchmarkRegistryPriceRound(b *testing.B) {
+	const dim = 5
+	for _, streams := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			reg, ids := benchRegistry(b, streams, dim)
+			theta := randx.New(1).OnSphere(dim)
+			var worker atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := worker.Add(1)
+				r := randx.NewStream(2, w)
+				i := int(w)
+				for pb.Next() {
+					i++
+					st, err := reg.Get(ids[i%len(ids)])
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					x := r.OnSphere(dim)
+					if _, _, err := st.Price(x, -1e9, x.Dot(theta)); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkServerHTTPPrice measures the same workload through the full
+// HTTP/JSON edge, the number future PRs should move.
+func BenchmarkServerHTTPPrice(b *testing.B) {
+	const dim = 5
+	for _, streams := range []int{1, 16} {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			reg, ids := benchRegistry(b, streams, dim)
+			ts := httptest.NewServer(NewServer(reg).Handler())
+			defer ts.Close()
+			theta := randx.New(1).OnSphere(dim)
+			var worker atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := worker.Add(1)
+				r := randx.NewStream(2, w)
+				i := int(w)
+				for pb.Next() {
+					i++
+					x := r.OnSphere(dim)
+					v := x.Dot(theta)
+					body, _ := json.Marshal(PriceRequest{Features: x, Reserve: -1e9, Valuation: &v})
+					resp, err := http.Post(
+						ts.URL+"/v1/streams/"+ids[i%len(ids)]+"/price",
+						"application/json", bytes.NewReader(body))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						b.Errorf("status %d", resp.StatusCode)
+						resp.Body.Close()
+						return
+					}
+					var pr PriceResponse
+					json.NewDecoder(resp.Body).Decode(&pr)
+					resp.Body.Close()
+				}
+			})
+		})
+	}
+}

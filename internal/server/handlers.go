@@ -1,0 +1,295 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"datamarket/internal/linalg"
+	"datamarket/internal/pricing"
+)
+
+// maxBodyBytes bounds request bodies. Snapshots of high-dimensional
+// streams dominate: at the MaxDim cap of 1024 a snapshot is ~21 MB of
+// JSON, so every snapshot the server can emit is restorable within the
+// limit. Oversized bodies get 413, not silent truncation.
+const maxBodyBytes = 32 << 20
+
+// Server is the brokerd HTTP edge over a stream registry.
+type Server struct {
+	reg *Registry
+}
+
+// NewServer wraps a registry (nil builds a fresh default registry).
+func NewServer(reg *Registry) *Server {
+	if reg == nil {
+		reg = NewRegistry(0)
+	}
+	return &Server{reg: reg}
+}
+
+// Registry exposes the underlying registry (for embedding brokerd in
+// tests and larger binaries).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/streams", s.handleCreate)
+	mux.HandleFunc("GET /v1/streams", s.handleList)
+	mux.HandleFunc("GET /v1/streams/{id}", s.handleInfo)
+	mux.HandleFunc("DELETE /v1/streams/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/streams/{id}/price", s.handlePrice)
+	mux.HandleFunc("POST /v1/streams/{id}/quote", s.handleQuote)
+	mux.HandleFunc("POST /v1/streams/{id}/observe", s.handleObserve)
+	mux.HandleFunc("GET /v1/streams/{id}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /v1/streams/{id}/restore", s.handleRestore)
+	mux.HandleFunc("GET /v1/streams/{id}/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "streams": s.reg.Len()})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateStreamRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	st, err := s.reg.Create(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, StreamInfo{ID: st.ID(), Dim: st.Dim()})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	streams := s.reg.List()
+	if streams == nil {
+		streams = []StreamInfo{}
+	}
+	writeJSON(w, http.StatusOK, ListStreamsResponse{Streams: streams})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.stream(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, StreamInfo{ID: st.ID(), Dim: st.Dim()})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Delete(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.stream(w, r)
+	if !ok {
+		return
+	}
+	var req PriceRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Valuation == nil {
+		writeStatusError(w, http.StatusBadRequest,
+			"valuation required on /price; use /quote + /observe for two-phase rounds")
+		return
+	}
+	features, ok2 := checkFeatures(w, st, req.Features, req.Reserve)
+	if !ok2 {
+		return
+	}
+	if !isFinite(*req.Valuation) {
+		writeStatusError(w, http.StatusBadRequest, "valuation must be finite")
+		return
+	}
+	q, accepted, err := st.Price(features, req.Reserve, *req.Valuation)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := quoteResponse(q)
+	if q.Decision != pricing.DecisionSkip {
+		resp.Accepted = &accepted
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.stream(w, r)
+	if !ok {
+		return
+	}
+	var req QuoteRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	features, ok2 := checkFeatures(w, st, req.Features, req.Reserve)
+	if !ok2 {
+		return
+	}
+	q, err := st.Quote(features, req.Reserve)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, quoteResponse(q))
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.stream(w, r)
+	if !ok {
+		return
+	}
+	var req ObserveRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := st.Observe(req.Accepted); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"observed": true})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.stream(w, r)
+	if !ok {
+		return
+	}
+	snap, err := st.Snapshot()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeStatusError(w, status, "reading body: "+err.Error())
+		return
+	}
+	snap, err := pricing.DecodeSnapshot(body)
+	if err != nil {
+		writeStatusError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	st, created, err := s.reg.GetOrRestore(id, snap)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, StreamInfo{ID: st.ID(), Dim: st.Dim()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.stream(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, st.Stats())
+}
+
+// stream resolves the {id} path value, writing the error on failure.
+func (s *Server) stream(w http.ResponseWriter, r *http.Request) (*Stream, bool) {
+	st, err := s.reg.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return nil, false
+	}
+	return st, true
+}
+
+// checkFeatures validates dimension and finiteness, returning the vector.
+func checkFeatures(w http.ResponseWriter, st *Stream, raw []float64, reserve float64) (linalg.Vector, bool) {
+	if len(raw) != st.Dim() {
+		writeStatusError(w, http.StatusBadRequest,
+			fmt.Sprintf("feature dimension %d, stream wants %d", len(raw), st.Dim()))
+		return nil, false
+	}
+	for i, v := range raw {
+		if !isFinite(v) {
+			writeStatusError(w, http.StatusBadRequest,
+				fmt.Sprintf("feature %d is %g, want finite", i, v))
+			return nil, false
+		}
+	}
+	if !isFinite(reserve) {
+		writeStatusError(w, http.StatusBadRequest, "reserve must be finite")
+		return nil, false
+	}
+	return linalg.Vector(raw), true
+}
+
+func quoteResponse(q pricing.Quote) PriceResponse {
+	return PriceResponse{
+		Price:          q.Price,
+		Decision:       q.Decision.String(),
+		Lower:          q.Lower,
+		Upper:          q.Upper,
+		ReserveBinding: q.ReserveBinding,
+	}
+}
+
+// readJSON decodes the request body, writing a 400 (or 413) on failure.
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeStatusError(w, status, "decoding request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps domain errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrStreamNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrStreamExists),
+		errors.Is(err, pricing.ErrPendingRound),
+		errors.Is(err, pricing.ErrNoPendingRound):
+		status = http.StatusConflict
+	}
+	writeStatusError(w, status, err.Error())
+}
+
+func writeStatusError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}

@@ -1,0 +1,288 @@
+// Package server hosts many independent pricing streams behind an
+// HTTP/JSON edge. Each stream owns one ellipsoid mechanism wrapped in a
+// pricing.SyncPoster; the streams live in a registry sharded by FNV hash
+// of the stream ID so hot streams do not contend on a single mutex.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+
+	"datamarket/internal/linalg"
+	"datamarket/internal/pricing"
+)
+
+// Registry errors.
+var (
+	ErrStreamExists   = errors.New("server: stream already exists")
+	ErrStreamNotFound = errors.New("server: stream not found")
+)
+
+// Stream is one hosted pricing stream: a concurrency-safe mechanism plus
+// regret bookkeeping for the rounds whose valuations the server saw.
+type Stream struct {
+	id     string
+	dim    int
+	poster *pricing.SyncPoster
+
+	trackMu sync.Mutex
+	tracker *pricing.Tracker
+}
+
+// MaxDim caps the feature dimension of a hosted stream. The ellipsoid
+// shape matrix is n×n, so an unbounded n would let one small create
+// request allocate arbitrary memory; 1024 keeps a stream under ~8 MB of
+// state and its snapshot comfortably inside maxBodyBytes.
+const MaxDim = 1024
+
+// newStream builds a stream from a create request.
+func newStream(req CreateStreamRequest) (*Stream, error) {
+	if req.ID == "" {
+		return nil, fmt.Errorf("server: stream id required")
+	}
+	if req.Dim < 1 || req.Dim > MaxDim {
+		return nil, fmt.Errorf("server: dimension %d invalid, want 1…%d", req.Dim, MaxDim)
+	}
+	radius := req.Radius
+	if radius == 0 {
+		radius = 2 * math.Sqrt(float64(req.Dim))
+	}
+	if !isFinite(radius) || radius <= 0 {
+		return nil, fmt.Errorf("server: radius %g invalid", req.Radius)
+	}
+	if !isFinite(req.Delta) || req.Delta < 0 {
+		return nil, fmt.Errorf("server: delta %g invalid", req.Delta)
+	}
+	if !isFinite(req.Threshold) || req.Threshold < 0 {
+		return nil, fmt.Errorf("server: threshold %g invalid", req.Threshold)
+	}
+	opts := []pricing.Option{pricing.WithUncertainty(req.Delta)}
+	if req.Reserve {
+		opts = append(opts, pricing.WithReserve())
+	}
+	switch {
+	case req.Threshold > 0:
+		opts = append(opts, pricing.WithThreshold(req.Threshold))
+	case req.Horizon > 0:
+		opts = append(opts, pricing.WithThreshold(
+			pricing.DefaultThreshold(req.Dim, req.Horizon, req.Delta)))
+	}
+	mech, err := pricing.New(req.Dim, radius, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{
+		id:      req.ID,
+		dim:     req.Dim,
+		poster:  pricing.NewSync(mech),
+		tracker: pricing.NewTracker(false),
+	}, nil
+}
+
+// restoredStream rebuilds a stream around a snapshot.
+func restoredStream(id string, snap *pricing.Snapshot) (*Stream, error) {
+	if id == "" {
+		return nil, fmt.Errorf("server: stream id required")
+	}
+	if snap.N > MaxDim {
+		return nil, fmt.Errorf("server: snapshot dimension %d exceeds limit %d", snap.N, MaxDim)
+	}
+	mech, err := pricing.Restore(snap)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{
+		id:      id,
+		dim:     snap.N,
+		poster:  pricing.NewSync(mech),
+		tracker: pricing.NewTracker(false),
+	}, nil
+}
+
+// ID returns the stream's identifier.
+func (st *Stream) ID() string { return st.id }
+
+// Dim returns the stream's feature dimension.
+func (st *Stream) Dim() int { return st.dim }
+
+// Price runs one full round atomically against the buyer valuation: the
+// offer is accepted iff price ≤ valuation. The round is recorded in the
+// stream's regret tracker.
+func (st *Stream) Price(features linalg.Vector, reserve, valuation float64) (pricing.Quote, bool, error) {
+	q, accepted, err := st.poster.PriceRound(features, reserve, func(q pricing.Quote) bool {
+		return pricing.Sold(q.Price, valuation)
+	})
+	if err != nil {
+		return q, accepted, err
+	}
+	st.trackMu.Lock()
+	st.tracker.Record(valuation, reserve, q)
+	st.trackMu.Unlock()
+	return q, accepted, nil
+}
+
+// Quote opens a round without resolving it (phase one of the two-phase
+// protocol). The mechanism stays pending until Observe.
+func (st *Stream) Quote(features linalg.Vector, reserve float64) (pricing.Quote, error) {
+	return st.poster.PostPrice(features, reserve)
+}
+
+// Observe closes the pending round (phase two).
+func (st *Stream) Observe(accepted bool) error {
+	return st.poster.Observe(accepted)
+}
+
+// Snapshot captures the stream's mechanism state.
+func (st *Stream) Snapshot() (*pricing.Snapshot, error) {
+	return st.poster.Snapshot()
+}
+
+// Restore replaces the stream's mechanism state in place.
+func (st *Stream) Restore(snap *pricing.Snapshot) error {
+	if snap.N != st.dim {
+		return fmt.Errorf("server: snapshot dimension %d, stream dimension %d", snap.N, st.dim)
+	}
+	return st.poster.RestoreSnapshot(snap)
+}
+
+// Stats reports the mechanism counters and regret bookkeeping.
+func (st *Stream) Stats() StatsResponse {
+	counters, _ := st.poster.Counters()
+	st.trackMu.Lock()
+	reg := RegretStats{
+		Rounds:            st.tracker.Rounds(),
+		CumulativeRegret:  st.tracker.CumulativeRegret(),
+		CumulativeValue:   st.tracker.CumulativeValue(),
+		CumulativeRevenue: st.tracker.CumulativeRevenue(),
+		RegretRatio:       st.tracker.RegretRatio(),
+	}
+	st.trackMu.Unlock()
+	return StatsResponse{ID: st.id, Dim: st.dim, Counters: counters, Regret: reg}
+}
+
+// DefaultShards is the registry shard count used by NewRegistry(0). With
+// FNV-1a placement, 32 shards keep per-shard lock hold times negligible
+// well past a hundred concurrent streams.
+const DefaultShards = 32
+
+// Registry holds the live streams, sharded by FNV-1a hash of the stream
+// ID. Shard locks are only held for map operations — never while a
+// mechanism prices — so a hot stream slows down nobody else.
+type Registry struct {
+	shards []registryShard
+}
+
+type registryShard struct {
+	mu      sync.RWMutex
+	streams map[string]*Stream
+}
+
+// NewRegistry builds a registry with the given shard count (0 picks
+// DefaultShards).
+func NewRegistry(shards int) *Registry {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	r := &Registry{shards: make([]registryShard, shards)}
+	for i := range r.shards {
+		r.shards[i].streams = make(map[string]*Stream)
+	}
+	return r
+}
+
+func (r *Registry) shard(id string) *registryShard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &r.shards[h.Sum32()%uint32(len(r.shards))]
+}
+
+// Create registers a new stream; it fails if the ID is taken.
+func (r *Registry) Create(req CreateStreamRequest) (*Stream, error) {
+	st, err := newStream(req)
+	if err != nil {
+		return nil, err
+	}
+	sh := r.shard(req.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.streams[req.ID]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrStreamExists, req.ID)
+	}
+	sh.streams[req.ID] = st
+	return st, nil
+}
+
+// Get returns the stream with the given ID.
+func (r *Registry) Get(id string) (*Stream, error) {
+	sh := r.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st, ok := sh.streams[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrStreamNotFound, id)
+	}
+	return st, nil
+}
+
+// GetOrRestore returns the existing stream after restoring the snapshot
+// into it, or registers a new stream rebuilt from the snapshot. The
+// shard lock is held across the in-place restore so a concurrent Delete
+// cannot orphan the stream between lookup and restore.
+func (r *Registry) GetOrRestore(id string, snap *pricing.Snapshot) (*Stream, bool, error) {
+	sh := r.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if st, ok := sh.streams[id]; ok {
+		return st, false, st.Restore(snap)
+	}
+	st, err := restoredStream(id, snap)
+	if err != nil {
+		return nil, false, err
+	}
+	sh.streams[id] = st
+	return st, true, nil
+}
+
+// Delete removes a stream.
+func (r *Registry) Delete(id string) error {
+	sh := r.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.streams[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrStreamNotFound, id)
+	}
+	delete(sh.streams, id)
+	return nil
+}
+
+// Len counts the hosted streams.
+func (r *Registry) Len() int {
+	var n int
+	for i := range r.shards {
+		r.shards[i].mu.RLock()
+		n += len(r.shards[i].streams)
+		r.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// List returns stream infos sorted by ID.
+func (r *Registry) List() []StreamInfo {
+	var out []StreamInfo
+	for i := range r.shards {
+		r.shards[i].mu.RLock()
+		for _, st := range r.shards[i].streams {
+			out = append(out, StreamInfo{ID: st.id, Dim: st.dim})
+		}
+		r.shards[i].mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,369 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"datamarket/internal/pricing"
+	"datamarket/internal/randx"
+)
+
+// client is a minimal JSON client for the brokerd API.
+type client struct {
+	t    *testing.T
+	base string
+	http *http.Client
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *client) {
+	t.Helper()
+	ts := httptest.NewServer(NewServer(nil).Handler())
+	t.Cleanup(ts.Close)
+	return ts, &client{t: t, base: ts.URL, http: ts.Client()}
+}
+
+// do sends body (marshalled) and decodes the response into out (when
+// non-nil), returning the HTTP status.
+func (c *client) do(method, path string, body, out any) int {
+	c.t.Helper()
+	var buf io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		buf = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, buf)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && err != io.EOF {
+			c.t.Fatalf("%s %s: decoding response: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (c *client) mustDo(method, path string, body, out any, want int) {
+	c.t.Helper()
+	if got := c.do(method, path, body, out); got != want {
+		c.t.Fatalf("%s %s: status %d, want %d", method, path, got, want)
+	}
+}
+
+func (c *client) price(stream string, features []float64, reserve, valuation float64) PriceResponse {
+	c.t.Helper()
+	var resp PriceResponse
+	c.mustDo("POST", "/v1/streams/"+stream+"/price",
+		PriceRequest{Features: features, Reserve: reserve, Valuation: &valuation},
+		&resp, http.StatusOK)
+	return resp
+}
+
+// runClients drives rounds concurrent full price rounds from `workers`
+// clients against the given streams, splitting rounds evenly.
+func runClients(t *testing.T, c *client, streams []string, workers, rounds int, seed uint64) {
+	t.Helper()
+	n := 3
+	theta := randx.New(seed).OnSphere(n)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := randx.NewStream(seed+1, uint64(w))
+			for i := 0; i < rounds/workers; i++ {
+				x := r.OnSphere(n)
+				v := x.Dot(theta)
+				stream := streams[(w+i)%len(streams)]
+				var resp PriceResponse
+				status := c.do("POST", "/v1/streams/"+stream+"/price",
+					PriceRequest{Features: x, Reserve: -1e9, Valuation: &v}, &resp)
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("worker %d round %d: status %d", w, i, status)
+					return
+				}
+				if resp.Decision == "skip" {
+					errs <- fmt.Errorf("worker %d round %d: unexpected skip", w, i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestServerLifecycle is the acceptance-path integration test: it drives
+// create → price → snapshot → restore → price over HTTP with 8
+// concurrent clients (run under -race via the CI workflow).
+func TestServerLifecycle(t *testing.T) {
+	_, c := newTestServer(t)
+	const (
+		workers = 8
+		rounds  = 400
+	)
+	streams := []string{"segment-a", "segment-b", "segment-c"}
+	for _, id := range streams {
+		var info StreamInfo
+		c.mustDo("POST", "/v1/streams",
+			CreateStreamRequest{ID: id, Dim: 3, Threshold: 0.05},
+			&info, http.StatusCreated)
+		if info.ID != id || info.Dim != 3 {
+			t.Fatalf("create returned %+v", info)
+		}
+	}
+
+	// Phase 1: concurrent pricing across all streams.
+	runClients(t, c, streams, workers, rounds, 100)
+
+	var stats StatsResponse
+	c.mustDo("GET", "/v1/streams/segment-a/stats", nil, &stats, http.StatusOK)
+	wantRounds := 0
+	for _, id := range streams {
+		var s StatsResponse
+		c.mustDo("GET", "/v1/streams/"+id+"/stats", nil, &s, http.StatusOK)
+		wantRounds += s.Counters.Rounds
+		if s.Counters.Accepts+s.Counters.Rejects+s.Counters.Skips != s.Counters.Rounds {
+			t.Fatalf("%s: inconsistent counters %+v", id, s.Counters)
+		}
+		if s.Regret.Rounds != s.Counters.Rounds {
+			t.Fatalf("%s: tracker saw %d rounds, counters %d", id, s.Regret.Rounds, s.Counters.Rounds)
+		}
+	}
+	if wantRounds != (rounds/workers)*workers {
+		t.Fatalf("total rounds %d, want %d", wantRounds, (rounds/workers)*workers)
+	}
+
+	// Snapshot segment-a, mutate it further, then roll it back.
+	var snap pricing.Snapshot
+	c.mustDo("GET", "/v1/streams/segment-a/snapshot", nil, &snap, http.StatusOK)
+	runClients(t, c, []string{"segment-a"}, workers, 160, 200)
+	var after StatsResponse
+	c.mustDo("GET", "/v1/streams/segment-a/stats", nil, &after, http.StatusOK)
+	if after.Counters.Rounds == snap.Counters.Rounds {
+		t.Fatal("phase 2 did not advance the stream")
+	}
+	c.mustDo("POST", "/v1/streams/segment-a/restore", snap, nil, http.StatusOK)
+	c.mustDo("GET", "/v1/streams/segment-a/stats", nil, &after, http.StatusOK)
+	if after.Counters != snap.Counters {
+		t.Fatalf("restore: counters %+v, want %+v", after.Counters, snap.Counters)
+	}
+
+	// Restoring into a fresh ID registers a new stream (crash recovery).
+	c.mustDo("POST", "/v1/streams/recovered/restore", snap, nil, http.StatusCreated)
+
+	// The rolled-back stream and the recovered stream agree exactly on
+	// the next round — the mechanism is deterministic given its state.
+	x := randx.New(300).OnSphere(3)
+	v := 0.4
+	qa := c.price("segment-a", x, -1e9, v)
+	qb := c.price("recovered", x, -1e9, v)
+	if qa.Decision != qb.Decision || math.Abs(qa.Price-qb.Price) > 1e-12 {
+		t.Fatalf("restored streams diverged: %+v vs %+v", qa, qb)
+	}
+
+	// Phase 3: pricing resumes concurrently after restore.
+	runClients(t, c, []string{"segment-a", "recovered"}, workers, 160, 400)
+
+	var list ListStreamsResponse
+	c.mustDo("GET", "/v1/streams", nil, &list, http.StatusOK)
+	if len(list.Streams) != 4 {
+		t.Fatalf("listed %d streams, want 4", len(list.Streams))
+	}
+	c.mustDo("DELETE", "/v1/streams/recovered", nil, nil, http.StatusNoContent)
+	c.mustDo("GET", "/v1/streams/recovered", nil, nil, http.StatusNotFound)
+}
+
+// TestServerTwoPhase exercises the quote/observe protocol and its
+// conflict handling.
+func TestServerTwoPhase(t *testing.T) {
+	_, c := newTestServer(t)
+	c.mustDo("POST", "/v1/streams",
+		CreateStreamRequest{ID: "s", Dim: 2, Reserve: true, Threshold: 0.1},
+		nil, http.StatusCreated)
+
+	// Observe with no round open conflicts.
+	c.mustDo("POST", "/v1/streams/s/observe", ObserveRequest{Accepted: true}, nil, http.StatusConflict)
+
+	var q PriceResponse
+	c.mustDo("POST", "/v1/streams/s/quote",
+		QuoteRequest{Features: []float64{1, 0}, Reserve: 0.1}, &q, http.StatusOK)
+	if q.Decision == "skip" {
+		t.Fatalf("unexpected skip: %+v", q)
+	}
+
+	// A second quote while the round is pending conflicts; so does a
+	// one-shot price.
+	c.mustDo("POST", "/v1/streams/s/quote",
+		QuoteRequest{Features: []float64{0, 1}}, nil, http.StatusConflict)
+	val := 1.0
+	c.mustDo("POST", "/v1/streams/s/price",
+		PriceRequest{Features: []float64{0, 1}, Valuation: &val}, nil, http.StatusConflict)
+	// Snapshots are refused mid-round, and so are restores — swapping
+	// state now would discard the buyer's in-flight decision.
+	c.mustDo("GET", "/v1/streams/s/snapshot", nil, nil, http.StatusBadRequest)
+	var fresh pricing.Snapshot
+	c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: "donor", Dim: 2}, nil, http.StatusCreated)
+	c.mustDo("GET", "/v1/streams/donor/snapshot", nil, &fresh, http.StatusOK)
+	c.mustDo("POST", "/v1/streams/s/restore", fresh, nil, http.StatusConflict)
+
+	c.mustDo("POST", "/v1/streams/s/observe", ObserveRequest{Accepted: true}, nil, http.StatusOK)
+	c.mustDo("POST", "/v1/streams/s/observe", ObserveRequest{Accepted: true}, nil, http.StatusConflict)
+
+	// A skip round leaves nothing pending: observe still conflicts.
+	c.mustDo("POST", "/v1/streams/s/quote",
+		QuoteRequest{Features: []float64{1, 0}, Reserve: 1e6}, &q, http.StatusOK)
+	if q.Decision != "skip" {
+		t.Fatalf("want skip at huge reserve, got %+v", q)
+	}
+	c.mustDo("POST", "/v1/streams/s/observe", ObserveRequest{Accepted: true}, nil, http.StatusConflict)
+	// And the stream is not wedged.
+	c.mustDo("POST", "/v1/streams/s/quote",
+		QuoteRequest{Features: []float64{1, 0}, Reserve: 0.1}, &q, http.StatusOK)
+	c.mustDo("POST", "/v1/streams/s/observe", ObserveRequest{Accepted: false}, nil, http.StatusOK)
+}
+
+// TestServerValidation covers the error surface.
+func TestServerValidation(t *testing.T) {
+	_, c := newTestServer(t)
+
+	// Malformed create requests.
+	c.mustDo("POST", "/v1/streams", CreateStreamRequest{Dim: 2}, nil, http.StatusBadRequest)
+	c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: "s"}, nil, http.StatusBadRequest)
+	c.mustDo("POST", "/v1/streams",
+		CreateStreamRequest{ID: "s", Dim: 2, Radius: -1}, nil, http.StatusBadRequest)
+	// An over-limit dimension must be rejected before allocating the
+	// n×n shape matrix, not crash the server.
+	c.mustDo("POST", "/v1/streams",
+		CreateStreamRequest{ID: "s", Dim: MaxDim + 1}, nil, http.StatusBadRequest)
+	c.mustDo("POST", "/v1/streams",
+		CreateStreamRequest{ID: "s", Dim: 2, Delta: -0.5}, nil, http.StatusBadRequest)
+
+	c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: "s", Dim: 2}, nil, http.StatusCreated)
+	// Duplicate ID conflicts.
+	c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: "s", Dim: 3}, nil, http.StatusConflict)
+
+	// Unknown stream.
+	c.mustDo("GET", "/v1/streams/nope", nil, nil, http.StatusNotFound)
+	c.mustDo("GET", "/v1/streams/nope/stats", nil, nil, http.StatusNotFound)
+	c.mustDo("DELETE", "/v1/streams/nope", nil, nil, http.StatusNotFound)
+	val := 1.0
+	c.mustDo("POST", "/v1/streams/nope/price",
+		PriceRequest{Features: []float64{1, 0}, Valuation: &val}, nil, http.StatusNotFound)
+
+	// Dimension mismatch and missing valuation.
+	c.mustDo("POST", "/v1/streams/s/price",
+		PriceRequest{Features: []float64{1, 0, 0}, Valuation: &val}, nil, http.StatusBadRequest)
+	c.mustDo("POST", "/v1/streams/s/price",
+		PriceRequest{Features: []float64{1, 0}}, nil, http.StatusBadRequest)
+
+	// Unknown fields and broken JSON are rejected.
+	req, _ := http.NewRequest("POST", c.base+"/v1/streams", bytes.NewBufferString(`{"bogus":1}`))
+	resp, err := c.http.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d", resp.StatusCode)
+	}
+
+	// Restoring a corrupt snapshot fails without registering a stream.
+	c.mustDo("POST", "/v1/streams/fresh/restore",
+		map[string]any{"version": 1, "n": 2, "shape": []float64{1, 0, 0}, "center": []float64{0, 0}, "threshold": 0.1},
+		nil, http.StatusBadRequest)
+	c.mustDo("GET", "/v1/streams/fresh", nil, nil, http.StatusNotFound)
+
+	// Restoring a snapshot of a different dimension into a live stream
+	// fails and leaves the stream intact.
+	var snap pricing.Snapshot
+	c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: "d3", Dim: 3}, nil, http.StatusCreated)
+	c.mustDo("GET", "/v1/streams/d3/snapshot", nil, &snap, http.StatusOK)
+	c.mustDo("POST", "/v1/streams/s/restore", snap, nil, http.StatusBadRequest)
+	c.price("s", []float64{1, 0}, 0, 1.0)
+
+	// Health endpoint reports the stream count.
+	var health struct {
+		Status  string `json:"status"`
+		Streams int    `json:"streams"`
+	}
+	c.mustDo("GET", "/healthz", nil, &health, http.StatusOK)
+	if health.Status != "ok" || health.Streams != 2 {
+		t.Fatalf("health %+v", health)
+	}
+}
+
+// TestRegistrySharding checks stream placement and concurrent
+// create/get/delete across shards.
+func TestRegistrySharding(t *testing.T) {
+	reg := NewRegistry(8)
+	const streams = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, streams)
+	for i := 0; i < streams; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := fmt.Sprintf("stream-%03d", i)
+			if _, err := reg.Create(CreateStreamRequest{ID: id, Dim: 2}); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := reg.Get(id); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if reg.Len() != streams {
+		t.Fatalf("registry has %d streams, want %d", reg.Len(), streams)
+	}
+	list := reg.List()
+	if len(list) != streams {
+		t.Fatalf("list has %d entries, want %d", len(list), streams)
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i-1].ID >= list[i].ID {
+			t.Fatalf("list unsorted at %d: %q ≥ %q", i, list[i-1].ID, list[i].ID)
+		}
+	}
+	// FNV placement spreads the streams over every shard.
+	for i := range reg.shards {
+		if len(reg.shards[i].streams) == 0 {
+			t.Fatalf("shard %d empty with %d streams", i, streams)
+		}
+	}
+	for i := 0; i < streams; i++ {
+		if err := reg.Delete(fmt.Sprintf("stream-%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if reg.Len() != 0 {
+		t.Fatalf("registry not empty after deletes: %d", reg.Len())
+	}
+}

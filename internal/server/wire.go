@@ -1,0 +1,98 @@
+package server
+
+import (
+	"datamarket/internal/pricing"
+)
+
+// CreateStreamRequest configures a new pricing stream. One stream hosts
+// one mechanism — typically one per consumer segment or query family.
+type CreateStreamRequest struct {
+	// ID names the stream. Required, and unique across the registry.
+	ID string `json:"id"`
+	// Dim is the feature dimension n. Required, ≥ 1.
+	Dim int `json:"dim"`
+	// Radius bounds ‖θ*‖ for the initial knowledge ball. Defaults to
+	// 2√Dim, the normalization used throughout the paper's experiments.
+	Radius float64 `json:"radius,omitempty"`
+	// Reserve enables the reserve price constraint (Algorithms 1 and 2).
+	Reserve bool `json:"reserve,omitempty"`
+	// Delta is the uncertainty buffer δ ≥ 0 (Algorithm 2).
+	Delta float64 `json:"delta,omitempty"`
+	// Threshold overrides the exploration threshold ε. When 0 and
+	// Horizon > 0, the regret-optimal DefaultThreshold schedule is used;
+	// when both are 0, the mechanism's horizon-free fallback applies.
+	Threshold float64 `json:"threshold,omitempty"`
+	// Horizon is the expected number of rounds T for the default ε.
+	Horizon int `json:"horizon,omitempty"`
+}
+
+// StreamInfo describes a hosted stream.
+type StreamInfo struct {
+	ID  string `json:"id"`
+	Dim int    `json:"dim"`
+}
+
+// ListStreamsResponse enumerates the hosted streams.
+type ListStreamsResponse struct {
+	Streams []StreamInfo `json:"streams"`
+}
+
+// PriceRequest drives pricing for one query. With Valuation set, the
+// server runs one full round atomically: it posts the price, accepts iff
+// price ≤ valuation (the buyer-valuation callback), and feeds the result
+// back to the mechanism. Without Valuation, use the two-phase
+// /quote + /observe pair instead.
+type PriceRequest struct {
+	Features  []float64 `json:"features"`
+	Reserve   float64   `json:"reserve,omitempty"`
+	Valuation *float64  `json:"valuation,omitempty"`
+}
+
+// QuoteRequest opens a round without resolving it: the caller must report
+// the buyer's decision via /observe before the next quote on the stream.
+type QuoteRequest struct {
+	Features []float64 `json:"features"`
+	Reserve  float64   `json:"reserve,omitempty"`
+}
+
+// ObserveRequest closes the round opened by the last quote.
+type ObserveRequest struct {
+	Accepted bool `json:"accepted"`
+}
+
+// PriceResponse reports the broker's quote for one round. Accepted is
+// set only when the request carried a valuation and the round was not
+// skipped.
+type PriceResponse struct {
+	Price          float64 `json:"price"`
+	Decision       string  `json:"decision"`
+	Lower          float64 `json:"lower"`
+	Upper          float64 `json:"upper"`
+	ReserveBinding bool    `json:"reserve_binding,omitempty"`
+	Accepted       *bool   `json:"accepted,omitempty"`
+}
+
+// RegretStats summarizes the stream's regret bookkeeping. It covers only
+// the rounds priced through the one-shot /price endpoint, where the
+// buyer's valuation is known to the server.
+type RegretStats struct {
+	Rounds            int     `json:"rounds"`
+	CumulativeRegret  float64 `json:"cumulative_regret"`
+	CumulativeValue   float64 `json:"cumulative_value"`
+	CumulativeRevenue float64 `json:"cumulative_revenue"`
+	RegretRatio       float64 `json:"regret_ratio"`
+}
+
+// StatsResponse surfaces a stream's mechanism counters and regret
+// bookkeeping.
+type StatsResponse struct {
+	ID       string           `json:"id"`
+	Dim      int              `json:"dim"`
+	Counters pricing.Counters `json:"counters"`
+	Regret   RegretStats      `json:"regret"`
+}
+
+// ErrorResponse is the uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
