@@ -75,6 +75,17 @@ type Poster = pricing.Poster
 // round atomically (SyncPoster implements it).
 type RoundPoster = pricing.RoundPoster
 
+// BatchRound is one round's input to batched pricing (features +
+// reserve).
+type BatchRound = pricing.BatchRound
+
+// BatchOutcome is one round's result from batched pricing.
+type BatchOutcome = pricing.BatchOutcome
+
+// BatchRoundPoster is a RoundPoster that can price k rounds under one
+// synchronization point (SyncPoster implements it).
+type BatchRoundPoster = pricing.BatchRoundPoster
+
 // SyncPoster makes any Poster safe for concurrent round-at-a-time use;
 // brokerd hosts one per stream.
 type SyncPoster = pricing.SyncPoster

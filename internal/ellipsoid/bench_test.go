@@ -1,0 +1,108 @@
+package ellipsoid
+
+import (
+	"fmt"
+	"testing"
+
+	"datamarket/internal/linalg"
+	"datamarket/internal/randx"
+)
+
+// benchDirections pre-generates unit probe directions so the measured
+// loop touches only the ellipsoid.
+func benchDirections(n, k int) []linalg.Vector {
+	r := randx.New(1)
+	dirs := make([]linalg.Vector, k)
+	for i := range dirs {
+		dirs[i] = r.OnSphere(n)
+	}
+	return dirs
+}
+
+// BenchmarkSupport measures the per-round value-bound probe — half of
+// the pricing hot path. Must report 0 allocs/op.
+func BenchmarkSupport(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e, err := NewBall(n, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dirs := benchDirections(n, 256)
+			var sink float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo, hi := e.Support(dirs[i%len(dirs)])
+				sink += lo + hi
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkCut measures the Löwner-John update — the other half of the
+// hot path. Central cuts keep every iteration on the full update path;
+// the ellipsoid is re-inflated periodically (outside the timer) so it
+// never degenerates. Must report 0 allocs/op.
+func BenchmarkCut(b *testing.B) {
+	const resetEvery = 512
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e, err := NewBall(n, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dirs := benchDirections(n, resetEvery)
+			// Warm the per-ellipsoid scratch before measuring.
+			e.Cut(dirs[0], e.c.Dot(dirs[0]))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%resetEvery == 0 {
+					b.StopTimer()
+					fresh, err := NewBall(n, 4)
+					if err != nil {
+						b.Fatal(err)
+					}
+					fresh.scratch = e.scratch // keep the warmed scratch
+					e = fresh
+					b.StartTimer()
+				}
+				a := dirs[i%resetEvery]
+				if res := e.Cut(a, e.c.Dot(a)); res != CutApplied {
+					b.Fatalf("cut %d: %v", i, res)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPriceRoundKernel chains Support and Cut the way one pricing
+// round does: probe the value interval, then cut at the midpoint.
+func BenchmarkPriceRoundKernel(b *testing.B) {
+	const n, resetEvery = 16, 512
+	e, err := NewBall(n, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dirs := benchDirections(n, resetEvery)
+	e.Cut(dirs[0], e.c.Dot(dirs[0]))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%resetEvery == 0 {
+			b.StopTimer()
+			fresh, err := NewBall(n, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fresh.scratch = e.scratch
+			e = fresh
+			b.StartTimer()
+		}
+		a := dirs[i%resetEvery]
+		lo, hi := e.Support(a)
+		e.Cut(a, (lo+hi)/2)
+	}
+}

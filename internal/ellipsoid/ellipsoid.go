@@ -34,6 +34,11 @@ type E struct {
 	n int
 	a *linalg.Matrix
 	c linalg.Vector
+
+	// scratch holds the cut vector b = A·a/√(aᵀAa) between Cut calls so
+	// the per-round hot path performs no allocations. It is lazily sized
+	// and never shared: Clone leaves it nil in the copy.
+	scratch linalg.Vector
 }
 
 // NewBall returns the ball of the given radius centered at the origin —
@@ -189,7 +194,13 @@ func (e *E) Cut(a linalg.Vector, beta float64) CutResult {
 	if len(a) != e.n {
 		panic(fmt.Sprintf("ellipsoid: Cut direction length %d, want %d", len(a), e.n))
 	}
-	probeSq := e.a.QuadForm(a)
+	if e.scratch == nil {
+		e.scratch = linalg.NewVector(e.n)
+	}
+	// b = A a, formed through the transpose product (A is symmetric) so
+	// zero entries of a skip whole rows; aᵀAa = a·b then costs only O(n).
+	b := e.a.MulVecTTo(e.scratch, a)
+	probeSq := a.Dot(b)
 	probe := math.Sqrt(math.Max(0, probeSq))
 	if probe < minProbe {
 		return CutDegenerate
@@ -207,8 +218,6 @@ func (e *E) Cut(a linalg.Vector, beta float64) CutResult {
 		return CutTooShallow
 	}
 
-	// b = A a / probe.
-	b := e.a.MulVec(a)
 	b.Scale(1 / probe)
 
 	tau := (1 + n*alpha) / (n + 1)

@@ -133,6 +133,29 @@ func (m *Matrix) MulVec(v Vector) Vector {
 	return out
 }
 
+// MulVecTo computes m·v into dst (which must have length m.Rows()) and
+// returns dst — the allocation-free variant of MulVec for hot paths
+// that own a scratch vector. (The ellipsoid hot path uses the sparse-
+// aware transpose form MulVecTTo; this row-major form is its dense
+// counterpart, exported for parity.)
+func (m *Matrix) MulVecTo(dst, v Vector) Vector {
+	if m.cols != len(v) {
+		panic(fmt.Sprintf("linalg: MulVecTo shape mismatch %dx%d by %d", m.rows, m.cols, len(v)))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("linalg: MulVecTo dst length %d, want %d", len(dst), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, x := range row {
+			s += x * v[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
 // MulVecT returns mᵀ·v without forming the transpose.
 func (m *Matrix) MulVecT(v Vector) Vector {
 	if m.rows != len(v) {
@@ -150,6 +173,33 @@ func (m *Matrix) MulVecT(v Vector) Vector {
 		}
 	}
 	return out
+}
+
+// MulVecTTo computes mᵀ·v into dst (which must have length m.Cols()) and
+// returns dst, without forming the transpose or allocating. Zero entries
+// of v skip whole rows, so the cost is O(k·n) for a k-sparse v — for a
+// symmetric m this is the fastest way to form m·v from a sparse probe.
+func (m *Matrix) MulVecTTo(dst, v Vector) Vector {
+	if m.rows != len(v) {
+		panic(fmt.Sprintf("linalg: MulVecTTo shape mismatch %dx%d by %d", m.rows, m.cols, len(v)))
+	}
+	if len(dst) != m.cols {
+		panic(fmt.Sprintf("linalg: MulVecTTo dst length %d, want %d", len(dst), m.cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, x := range row {
+			dst[j] += x * vi
+		}
+	}
+	return dst
 }
 
 // Mul returns m·b.

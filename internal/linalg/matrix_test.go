@@ -162,3 +162,54 @@ func TestRaggedRowsPanics(t *testing.T) {
 	}()
 	MatrixFromRows([][]float64{{1, 2}, {3}})
 }
+
+func TestMulVecToMatchesMulVec(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	v := VectorOf(1, -1, 2)
+	dst := NewVector(2)
+	got := m.MulVecTo(dst, v)
+	if &got[0] != &dst[0] {
+		t.Fatal("MulVecTo did not return dst")
+	}
+	if !got.Equal(m.MulVec(v), 0) {
+		t.Fatalf("MulVecTo = %v, MulVec = %v", got, m.MulVec(v))
+	}
+	// dst is fully overwritten, not accumulated.
+	dst[0], dst[1] = 99, 99
+	if !m.MulVecTo(dst, v).Equal(m.MulVec(v), 0) {
+		t.Fatal("MulVecTo accumulated into stale dst")
+	}
+}
+
+func TestMulVecTToMatchesMulVecT(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	v := VectorOf(2, -3)
+	dst := Vector{7, 7, 7} // stale values must be cleared
+	if !m.MulVecTTo(dst, v).Equal(m.MulVecT(v), 0) {
+		t.Fatalf("MulVecTTo = %v, MulVecT = %v", dst, m.MulVecT(v))
+	}
+	// Sparse input exercises the row-skip path.
+	sparse := VectorOf(0, 5)
+	if !m.MulVecTTo(dst, sparse).Equal(m.MulVecT(sparse), 0) {
+		t.Fatalf("sparse MulVecTTo = %v, want %v", dst, m.MulVecT(sparse))
+	}
+}
+
+func TestMulVecToShapePanics(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	for name, f := range map[string]func(){
+		"MulVecTo bad v":    func() { m.MulVecTo(NewVector(2), NewVector(3)) },
+		"MulVecTo bad dst":  func() { m.MulVecTo(NewVector(3), NewVector(2)) },
+		"MulVecTTo bad v":   func() { m.MulVecTTo(NewVector(2), NewVector(3)) },
+		"MulVecTTo bad dst": func() { m.MulVecTTo(NewVector(3), NewVector(2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -7,6 +7,7 @@
 package market
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -223,6 +224,70 @@ func (b *Broker) Trade(query Query) (Transaction, error) {
 	return b.settle(query, ctx, quote, sold)
 }
 
+// TradeBatch executes len(queries) full rounds. Each query runs the
+// Prepare pipeline exactly once; when the mechanism supports batch
+// pricing (pricing.BatchRoundPoster — SyncPoster does), all rounds then
+// price under ONE lock acquisition before settling, amortizing the
+// per-round synchronization that dominates Trade under concurrency.
+// Otherwise the queries fall back to sequential Trade calls.
+//
+// Every query is attempted regardless of earlier failures, on both the
+// batch and the fallback path: a query that fails (prepare, pricing, or
+// settlement) leaves no ledger entry, the rest trade normally, and the
+// returned error joins the per-query failures. Settling the survivors
+// is not optional — the mechanism has already consumed their feedback,
+// so skipping them would leave the books permanently behind the
+// mechanism state.
+func (b *Broker) TradeBatch(queries []Query) ([]Transaction, error) {
+	bp, ok := b.mech.(pricing.BatchRoundPoster)
+	if !ok {
+		txs := make([]Transaction, 0, len(queries))
+		var errs []error
+		for i, q := range queries {
+			tx, err := b.Trade(q)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("market: query %d: %w", i, err))
+				continue
+			}
+			txs = append(txs, tx)
+		}
+		return txs, errors.Join(errs...)
+	}
+
+	ctxs := make([]*QuoteContext, 0, len(queries))
+	rounds := make([]pricing.BatchRound, 0, len(queries))
+	idx := make([]int, 0, len(queries)) // query index of each prepared round
+	var errs []error
+	for i := range queries {
+		ctx, err := b.Prepare(queries[i].Q)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("market: preparing query %d: %w", i, err))
+			continue
+		}
+		ctxs = append(ctxs, ctx)
+		rounds = append(rounds, pricing.BatchRound{X: ctx.Features, Reserve: ctx.Reserve})
+		idx = append(idx, i)
+	}
+	out := bp.PriceBatch(rounds, func(k int, q pricing.Quote) bool {
+		return pricing.Sold(q.Price, queries[idx[k]].Valuation)
+	})
+	txs := make([]Transaction, 0, len(rounds))
+	for k, o := range out {
+		i := idx[k]
+		if o.Err != nil {
+			errs = append(errs, fmt.Errorf("market: pricing query %d: %w", i, o.Err))
+			continue
+		}
+		tx, err := b.settle(queries[i], ctxs[k], o.Quote, o.Accepted)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("market: settling query %d: %w", i, err))
+			continue
+		}
+		txs = append(txs, tx)
+	}
+	return txs, errors.Join(errs...)
+}
+
 // settle updates the broker's books for one priced round under the lock.
 func (b *Broker) settle(query Query, ctx *QuoteContext, quote pricing.Quote, sold bool) (Transaction, error) {
 	b.mu.Lock()
@@ -243,6 +308,14 @@ func (b *Broker) settle(query Query, ctx *QuoteContext, quote pricing.Quote, sol
 	}
 
 	if tx.Sold {
+		// Answer the query before touching any payout state: if the
+		// answer fails, the settlement must leave the books exactly as
+		// they were — no payout without a matching ledger entry.
+		ans, err := query.Q.Answer(b.values, b.rng)
+		if err != nil {
+			return Transaction{}, err
+		}
+		tx.Answer = ans
 		tx.Revenue = tx.Posted
 		tx.Compensation = ctx.Reserve
 		tx.Profit = tx.Revenue - tx.Compensation
@@ -254,11 +327,6 @@ func (b *Broker) settle(query Query, ctx *QuoteContext, quote pricing.Quote, sol
 				b.ownerPayout[i] += ctx.Reserve * c / total
 			}
 		}
-		ans, err := query.Q.Answer(b.values, b.rng)
-		if err != nil {
-			return Transaction{}, err
-		}
-		tx.Answer = ans
 	}
 	tx.Regret = pricing.SingleRoundRegret(query.Valuation, ctx.Reserve, tx.Posted)
 

@@ -387,3 +387,221 @@ func TestTradeConcurrent(t *testing.T) {
 		t.Fatalf("negative total profit %v", b.TotalProfit())
 	}
 }
+
+// TestSettleFailingAnswerLeavesBooksUntouched is the regression test for
+// the settlement-ordering bug: when the query's answer fails after the
+// consumer accepted, the broker must not have mutated any payout state —
+// previously the owner payouts were credited before the answer was
+// computed, leaving money on the books with no ledger entry behind it.
+func TestSettleFailingAnswerLeavesBooksUntouched(t *testing.T) {
+	ownerPop := testOwners(t, 10, 21)
+	mech := testMechanism(t, 3, 100)
+	b, err := NewBroker(Config{Owners: ownerPop, Mechanism: pricing.NewSync(mech), FeatureDim: 3, KeepRecords: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := privacy.NewLinearQuery(randx.New(22).NormalVector(10, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := b.Prepare(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A query over the wrong owner count reaches settle only through this
+	// direct call (Prepare would reject it), standing in for any answer
+	// failure that strikes after the buyer accepted.
+	broken, err := privacy.NewLinearQuery(randx.New(23).NormalVector(7, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quote := pricing.Quote{Price: ctx.Reserve + 1, Decision: pricing.DecisionExploratory}
+	if _, err := b.settle(Query{Q: broken, Valuation: 10}, ctx, quote, true); err == nil {
+		t.Fatal("settle with a failing answer did not error")
+	}
+	for i := range ownerPop {
+		p, err := b.OwnerPayout(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != 0 {
+			t.Fatalf("owner %d was paid %v by a failed settlement", i, p)
+		}
+	}
+	if len(b.Ledger()) != 0 {
+		t.Fatalf("failed settlement left %d ledger entries", len(b.Ledger()))
+	}
+	if b.Tracker().Rounds() != 0 {
+		t.Fatalf("failed settlement recorded %d tracker rounds", b.Tracker().Rounds())
+	}
+}
+
+// TestTradeBatchMatchesSequentialTrades checks that TradeBatch on a
+// batch-capable mechanism produces exactly the ledger that the same
+// query sequence produces through per-round Trade calls.
+func TestTradeBatchMatchesSequentialTrades(t *testing.T) {
+	const owners, n, T = 30, 4, 300
+	newBroker := func() (*Broker, *ConsumerModel, *randx.RNG) {
+		t.Helper()
+		ownerPop := testOwners(t, owners, 31)
+		b, err := NewBroker(Config{
+			Owners: ownerPop, Mechanism: pricing.NewSync(testMechanism(t, n, T)),
+			FeatureDim: n, Seed: 32, KeepRecords: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		theta := randx.New(33).NormalVector(n, 1)
+		for i := range theta {
+			theta[i] = math.Abs(theta[i])
+		}
+		theta.Normalize()
+		theta.Scale(math.Sqrt(2 * float64(n)))
+		cm, err := NewConsumerModel(ConsumerConfig{Owners: ownerPop, FeatureDim: n, Theta: theta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, cm, randx.New(34)
+	}
+
+	bSeq, cmSeq, rngSeq := newBroker()
+	seqTxs := make([]Transaction, 0, T)
+	for i := 0; i < T; i++ {
+		q, err := cmSeq.NextQuery(rngSeq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx, err := bSeq.Trade(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqTxs = append(seqTxs, tx)
+	}
+
+	bBatch, cmBatch, rngBatch := newBroker()
+	queries := make([]Query, T)
+	for i := range queries {
+		q, err := cmBatch.NextQuery(rngBatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[i] = q
+	}
+	var batchTxs []Transaction
+	for lo := 0; lo < T; lo += 64 {
+		hi := lo + 64
+		if hi > T {
+			hi = T
+		}
+		txs, err := bBatch.TradeBatch(queries[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchTxs = append(batchTxs, txs...)
+	}
+
+	if len(batchTxs) != len(seqTxs) {
+		t.Fatalf("batch produced %d transactions, sequential %d", len(batchTxs), len(seqTxs))
+	}
+	for i := range seqTxs {
+		if batchTxs[i] != seqTxs[i] {
+			t.Fatalf("transaction %d diverged:\nbatch      %+v\nsequential %+v", i, batchTxs[i], seqTxs[i])
+		}
+	}
+	for i := 0; i < owners; i++ {
+		ps, _ := bSeq.OwnerPayout(i)
+		pb, _ := bBatch.OwnerPayout(i)
+		if ps != pb {
+			t.Fatalf("owner %d payout diverged: %v vs %v", i, pb, ps)
+		}
+	}
+}
+
+// TestTradeBatchFallback covers the non-batch poster path: a bare
+// *Mechanism does not implement BatchRoundPoster, so TradeBatch must
+// fall back to sequential trades and still fill the ledger.
+func TestTradeBatchFallback(t *testing.T) {
+	const owners, n, T = 20, 3, 50
+	ownerPop := testOwners(t, owners, 41)
+	b, err := NewBroker(Config{
+		Owners: ownerPop, Mechanism: testMechanism(t, n, T),
+		FeatureDim: n, Seed: 42, KeepRecords: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := randx.New(43).NormalVector(n, 1)
+	for i := range theta {
+		theta[i] = math.Abs(theta[i])
+	}
+	theta.Normalize()
+	theta.Scale(math.Sqrt(2 * float64(n)))
+	cm, err := NewConsumerModel(ConsumerConfig{Owners: ownerPop, FeatureDim: n, Theta: theta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(44)
+	queries := make([]Query, T)
+	for i := range queries {
+		q, err := cm.NextQuery(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[i] = q
+	}
+	txs, err := b.TradeBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != T || len(b.Ledger()) != T {
+		t.Fatalf("fallback batch: %d transactions, %d ledger entries, want %d", len(txs), len(b.Ledger()), T)
+	}
+}
+
+// TestTradeBatchPartialFailure pins the uniform failure semantics of
+// TradeBatch on both the batch and the fallback path: a query that
+// fails to prepare mid-batch leaves no ledger entry, every other query
+// still trades, and the joined error names the failure.
+func TestTradeBatchPartialFailure(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mech func() pricing.Poster
+	}{
+		{"batch-poster", func() pricing.Poster { return pricing.NewSync(testMechanism(t, 2, 100)) }},
+		{"fallback-poster", func() pricing.Poster { return testMechanism(t, 2, 100) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ownerPop := testOwners(t, 8, 51)
+			b, err := NewBroker(Config{Owners: ownerPop, Mechanism: tc.mech(), FeatureDim: 2, Seed: 52, KeepRecords: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			good1, err := privacy.NewLinearQuery(randx.New(53).NormalVector(8, 1), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bad, err := privacy.NewLinearQuery(randx.New(54).NormalVector(5, 1), 1) // wrong owner count
+			if err != nil {
+				t.Fatal(err)
+			}
+			good2, err := privacy.NewLinearQuery(randx.New(55).NormalVector(8, 1), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			txs, err := b.TradeBatch([]Query{
+				{Q: good1, Valuation: 5},
+				{Q: bad, Valuation: 5},
+				{Q: good2, Valuation: 5},
+			})
+			if err == nil {
+				t.Fatal("batch with a failing query returned no error")
+			}
+			if len(txs) != 2 {
+				t.Fatalf("got %d transactions, want 2 (failed query skipped)", len(txs))
+			}
+			if len(b.Ledger()) != 2 {
+				t.Fatalf("ledger has %d entries, want 2", len(b.Ledger()))
+			}
+		})
+	}
+}

@@ -1,0 +1,50 @@
+//go:build !race
+
+package pricing
+
+import (
+	"testing"
+
+	"datamarket/internal/linalg"
+	"datamarket/internal/randx"
+)
+
+// TestMechanismRoundZeroAllocs guards the whole per-round hot path:
+// after warmup, a full PostPrice+Observe cycle — support probe, quote,
+// feedback, ellipsoid cut — performs zero allocations. (Skipped under
+// -race, whose instrumentation perturbs allocation counts.)
+func TestMechanismRoundZeroAllocs(t *testing.T) {
+	const n = 16
+	m, err := New(n, 4, WithThreshold(1e-12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randx.New(1)
+	theta := r.OnSphere(n)
+	xs := make([]linalg.Vector, 64)
+	for i := range xs {
+		xs[i] = r.OnSphere(n)
+	}
+	// Warm the lastX and ellipsoid scratch buffers.
+	if _, err := m.PostPrice(xs[0], -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Observe(true); err != nil {
+		t.Fatal(err)
+	}
+
+	i := 0
+	if got := testing.AllocsPerRun(200, func() {
+		i++
+		x := xs[i%len(xs)]
+		q, err := m.PostPrice(x, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Observe(Sold(q.Price, x.Dot(theta))); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Fatalf("full pricing round allocated %v times, want 0", got)
+	}
+}

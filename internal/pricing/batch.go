@@ -1,0 +1,57 @@
+package pricing
+
+import "datamarket/internal/linalg"
+
+// BatchRound is one round's input to PriceBatch: the query's feature
+// vector and reserve price.
+type BatchRound struct {
+	X       linalg.Vector
+	Reserve float64
+}
+
+// BatchOutcome is one round's result from PriceBatch. Accepted is
+// meaningful only when Err is nil and the quote was not a skip.
+type BatchOutcome struct {
+	Quote    Quote
+	Accepted bool
+	Err      error
+}
+
+// BatchRoundPoster is a RoundPoster that can additionally price k rounds
+// under a single synchronization point, amortizing per-round lock and
+// dispatch overhead. SyncPoster implements it.
+type BatchRoundPoster interface {
+	RoundPoster
+	PriceBatch(rounds []BatchRound, respond func(i int, q Quote) bool) []BatchOutcome
+}
+
+// PriceBatch runs len(rounds) full rounds back to back under ONE lock
+// acquisition: for each round it posts the price, obtains the buyer's
+// decision from respond(i, quote), and delivers the feedback before
+// moving on. Concurrent callers therefore interleave at batch
+// granularity; within a batch the rounds are sequential, exactly as if
+// the caller had issued k PriceRound calls with no writer in between.
+//
+// A round that fails (e.g. a feature-dimension mismatch) records its
+// error in the corresponding outcome and leaves the mechanism untouched;
+// later rounds in the batch still run.
+func (s *SyncPoster) PriceBatch(rounds []BatchRound, respond func(i int, q Quote) bool) []BatchOutcome {
+	out := make([]BatchOutcome, len(rounds))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.refreshPending()
+	for i := range rounds {
+		q, accepted, err := s.priceRoundLocked(rounds[i].X, rounds[i].Reserve, i, respond)
+		out[i] = BatchOutcome{Quote: q, Accepted: accepted, Err: err}
+	}
+	return out
+}
+
+// Pending reports whether the wrapped poster has a two-phase round
+// awaiting feedback. It reads the lock-free shadow maintained under the
+// lock by every state-changing method, so it is exact and never waits
+// behind an in-flight round or batch. Posters that do not track pending
+// state report false.
+func (s *SyncPoster) Pending() bool { return s.pending.Load() }
+
+var _ BatchRoundPoster = (*SyncPoster)(nil)

@@ -303,7 +303,13 @@ func (m *Mechanism) PostPrice(x linalg.Vector, reserve float64) (Quote, error) {
 
 func (m *Mechanism) begin(x linalg.Vector, price float64, exploratory bool) {
 	m.pending = true
-	m.lastX = x.Clone()
+	// lastX is a scratch buffer reused across rounds so the hot path does
+	// not allocate; x is copied because the caller may mutate it after the
+	// round opens.
+	if m.lastX == nil {
+		m.lastX = linalg.NewVector(m.n)
+	}
+	copy(m.lastX, x)
 	m.lastP = price
 	m.lastExpl = exploratory
 }
@@ -331,8 +337,10 @@ func (m *Mechanism) Observe(accepted bool) error {
 	}
 	var res ellipsoid.CutResult
 	if accepted {
-		// Keep {xᵀθ ≥ p − δ} ⇔ cut with {−xᵀθ ≤ −(p − δ)}.
-		res = m.ell.Cut(m.lastX.Scaled(-1), -(m.lastP - m.cfg.delta))
+		// Keep {xᵀθ ≥ p − δ} ⇔ cut with {−xᵀθ ≤ −(p − δ)}. lastX is the
+		// mechanism's own scratch and dead after this round, so it is
+		// negated in place rather than copied.
+		res = m.ell.Cut(m.lastX.Scale(-1), -(m.lastP - m.cfg.delta))
 	} else {
 		// Keep {xᵀθ ≤ p + δ}.
 		res = m.ell.Cut(m.lastX, m.lastP+m.cfg.delta)

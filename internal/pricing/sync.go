@@ -3,6 +3,7 @@ package pricing
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"datamarket/internal/linalg"
 )
@@ -32,23 +33,43 @@ type Snapshotter interface {
 type SyncPoster struct {
 	mu    sync.Mutex
 	inner Poster
+
+	// pending shadows the wrapped poster's pending state. Every state
+	// change runs under mu and refreshes the shadow before unlocking, so
+	// the shadow is exact — and Pending can read it lock-free, never
+	// waiting behind an in-flight round or batch.
+	pending atomic.Bool
 }
 
 // NewSync wraps a Poster for concurrent use.
 func NewSync(inner Poster) *SyncPoster { return &SyncPoster{inner: inner} }
 
+// refreshPending re-derives the pending shadow from the wrapped poster.
+// The caller must hold s.mu.
+func (s *SyncPoster) refreshPending() {
+	if p, ok := s.inner.(interface{ Pending() bool }); ok {
+		s.pending.Store(p.Pending())
+	} else {
+		s.pending.Store(false)
+	}
+}
+
 // PostPrice locks and forwards.
 func (s *SyncPoster) PostPrice(x linalg.Vector, reserve float64) (Quote, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.inner.PostPrice(x, reserve)
+	q, err := s.inner.PostPrice(x, reserve)
+	s.refreshPending()
+	return q, err
 }
 
 // Observe locks and forwards.
 func (s *SyncPoster) Observe(accepted bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.inner.Observe(accepted)
+	err := s.inner.Observe(accepted)
+	s.refreshPending()
+	return err
 }
 
 // PriceRound runs one full round atomically: post the price, obtain the
@@ -58,6 +79,15 @@ func (s *SyncPoster) PriceRound(x linalg.Vector, reserve float64,
 	respond func(Quote) bool) (Quote, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.refreshPending()
+	return s.priceRoundLocked(x, reserve, 0, func(_ int, q Quote) bool { return respond(q) })
+}
+
+// priceRoundLocked is the one-round protocol shared by PriceRound and
+// PriceBatch; the caller must hold s.mu. respond receives the caller's
+// round index i (0 for single rounds).
+func (s *SyncPoster) priceRoundLocked(x linalg.Vector, reserve float64, i int,
+	respond func(int, Quote) bool) (Quote, bool, error) {
 	q, err := s.inner.PostPrice(x, reserve)
 	if err != nil {
 		return Quote{}, false, err
@@ -68,7 +98,7 @@ func (s *SyncPoster) PriceRound(x linalg.Vector, reserve float64,
 		// PostPrice proceeds normally (see TestSyncPosterSkipRound).
 		return q, false, nil
 	}
-	accepted := respond(q)
+	accepted := respond(i, q)
 	if err := s.inner.Observe(accepted); err != nil {
 		return q, accepted, err
 	}
@@ -122,6 +152,7 @@ func (s *SyncPoster) RestoreSnapshot(snap *Snapshot) error {
 		return fmt.Errorf("pricing: cannot restore while a round is pending feedback: %w", ErrPendingRound)
 	}
 	s.inner = m
+	s.refreshPending()
 	return nil
 }
 

@@ -1,0 +1,194 @@
+package server
+
+// This file implements the batch pricing endpoints. Per-request JSON
+// and dispatch overhead dominate the per-round HTTP path (tens of µs
+// per round served vs sub-µs at the registry — see the benchmarks in
+// bench_test.go for current numbers); these handlers amortize that
+// across k rounds — one decode, one stream-lock acquisition per
+// stream, one encode.
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"datamarket/internal/linalg"
+	"datamarket/internal/pricing"
+)
+
+// MaxBatchRounds caps the rounds in one batch request, bounding how
+// long one request can hold a stream's lock (a few milliseconds of
+// pricing at typical dimensions). Very wide rounds hit the
+// maxBodyBytes 413 before this 400.
+const MaxBatchRounds = 4096
+
+// checkBatchSize enforces the 400-level batch limits.
+func checkBatchSize(w http.ResponseWriter, n int) bool {
+	if n == 0 {
+		writeStatusError(w, http.StatusBadRequest, "batch needs at least one round")
+		return false
+	}
+	if n > MaxBatchRounds {
+		writeStatusError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch has %d rounds, limit %d", n, MaxBatchRounds))
+		return false
+	}
+	return true
+}
+
+// validateBatchRound runs the single-round validation plus the
+// batch-only requirement that the valuation callback is present.
+func validateBatchRound(st *Stream, features []float64, reserve float64, valuation *float64) error {
+	if err := validateFeatures(st, features, reserve); err != nil {
+		return err
+	}
+	if valuation == nil {
+		return fmt.Errorf("valuation required on batch rounds; use /quote + /observe for two-phase rounds")
+	}
+	if !isFinite(*valuation) {
+		return fmt.Errorf("valuation must be finite")
+	}
+	return nil
+}
+
+// batchResult converts one pricing outcome into its wire form.
+func batchResult(o pricing.BatchOutcome) BatchRoundResult {
+	if o.Err != nil {
+		return BatchRoundResult{Error: o.Err.Error()}
+	}
+	res := BatchRoundResult{PriceResponse: quoteResponse(o.Quote)}
+	if o.Quote.Decision != pricing.DecisionSkip {
+		acc := o.Accepted
+		res.Accepted = &acc
+	}
+	return res
+}
+
+// priceRounds validates and prices a group of rounds on one stream,
+// writing each round's result at its caller-assigned slot in results
+// (slots[k] is the result index of batch[k]). Invalid rounds fail
+// individually; the valid ones still price, in order, under one
+// stream-lock acquisition.
+func priceRounds(st *Stream, batch []BatchPriceRound, slots []int, results []BatchRoundResult) {
+	idx := make([]int, 0, len(batch))
+	rounds := make([]pricing.BatchRound, 0, len(batch))
+	vals := make([]float64, 0, len(batch))
+	for k, rd := range batch {
+		if err := validateBatchRound(st, rd.Features, rd.Reserve, rd.Valuation); err != nil {
+			results[slots[k]] = BatchRoundResult{Error: err.Error()}
+			continue
+		}
+		idx = append(idx, slots[k])
+		rounds = append(rounds, pricing.BatchRound{X: linalg.Vector(rd.Features), Reserve: rd.Reserve})
+		vals = append(vals, *rd.Valuation)
+	}
+	if len(rounds) == 0 {
+		return
+	}
+	for k, o := range st.PriceBatch(rounds, vals) {
+		results[idx[k]] = batchResult(o)
+	}
+}
+
+// handleBatchPrice prices k rounds on one stream: one JSON decode, one
+// lock acquisition, one response (POST /v1/streams/{id}/price/batch).
+func (s *Server) handleBatchPrice(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.stream(w, r)
+	if !ok {
+		return
+	}
+	var req BatchPriceRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if !checkBatchSize(w, len(req.Rounds)) {
+		return
+	}
+	results := make([]BatchRoundResult, len(req.Rounds))
+	slots := make([]int, len(req.Rounds))
+	for i := range slots {
+		slots[i] = i
+	}
+	priceRounds(st, req.Rounds, slots, results)
+	writeJSON(w, http.StatusOK, BatchPriceResponse{Results: results})
+}
+
+// handleMultiBatchPrice prices rounds across many streams in one
+// request (POST /v1/price/batch). Rounds are grouped by stream (so a
+// stream's rounds price in request order under one lock acquisition),
+// stream groups are bucketed by registry shard, and the shard buckets
+// fan out over a bounded worker pool. Bucketing keeps all of a shard's
+// map lookups on one worker and sizes the pool by live shards; the
+// cost is that streams hashing to the same shard price sequentially —
+// acceptable, since a batch touching k streams spreads over 32 shards.
+func (s *Server) handleMultiBatchPrice(w http.ResponseWriter, r *http.Request) {
+	var req MultiBatchPriceRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if !checkBatchSize(w, len(req.Rounds)) {
+		return
+	}
+	results := make([]BatchRoundResult, len(req.Rounds))
+
+	// Group request indexes by stream, preserving per-stream round order.
+	groups := make(map[string][]int)
+	for i, rd := range req.Rounds {
+		if rd.StreamID == "" {
+			results[i] = BatchRoundResult{Error: "stream_id required"}
+			continue
+		}
+		groups[rd.StreamID] = append(groups[rd.StreamID], i)
+	}
+
+	// Bucket stream groups by shard.
+	buckets := make(map[int][]string)
+	for id := range groups {
+		si := s.reg.ShardIndex(id)
+		buckets[si] = append(buckets[si], id)
+	}
+
+	// Fan the shard buckets out over a bounded worker pool. Each result
+	// slot is written by exactly one worker, so no result lock is needed.
+	work := make(chan []string, len(buckets))
+	for _, ids := range buckets {
+		work <- ids
+	}
+	close(work)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(buckets) {
+		workers = len(buckets)
+	}
+	var wg sync.WaitGroup
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ids := range work {
+				for _, id := range ids {
+					s.priceStreamGroup(id, groups[id], req.Rounds, results)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchPriceResponse{Results: results})
+}
+
+// priceStreamGroup prices one stream's rounds of a multi-stream batch.
+func (s *Server) priceStreamGroup(id string, slots []int, rounds []MultiBatchRound, results []BatchRoundResult) {
+	st, err := s.reg.Get(id)
+	if err != nil {
+		for _, slot := range slots {
+			results[slot] = BatchRoundResult{Error: err.Error()}
+		}
+		return
+	}
+	batch := make([]BatchPriceRound, len(slots))
+	for k, slot := range slots {
+		rd := rounds[slot]
+		batch[k] = BatchPriceRound{Features: rd.Features, Reserve: rd.Reserve, Valuation: rd.Valuation}
+	}
+	priceRounds(st, batch, slots, results)
+}

@@ -1,0 +1,321 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"testing"
+
+	"datamarket/internal/randx"
+)
+
+// batchRounds builds k deterministic rounds for a dim-wide stream, with
+// valuations from a fixed hidden theta.
+func batchRounds(dim, k int, seed uint64) []BatchPriceRound {
+	theta := randx.New(1).OnSphere(dim)
+	r := randx.New(seed)
+	rounds := make([]BatchPriceRound, k)
+	for i := range rounds {
+		x := r.OnSphere(dim)
+		v := x.Dot(theta)
+		rounds[i] = BatchPriceRound{Features: x, Reserve: -1e9, Valuation: &v}
+	}
+	return rounds
+}
+
+// TestBatchPriceMatchesSingleRounds drives the same round sequence
+// through /price (one round per request) and /price/batch (chunks) on
+// identically configured streams: every quote must agree and the final
+// mechanism counters — including the cuts applied — must be identical.
+func TestBatchPriceMatchesSingleRounds(t *testing.T) {
+	const dim, total, chunk = 4, 120, 32
+	_, c := newTestServer(t)
+	for _, id := range []string{"eq-single", "eq-batch"} {
+		c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: id, Dim: dim, Threshold: 0.05},
+			nil, http.StatusCreated)
+	}
+	rounds := batchRounds(dim, total, 2)
+
+	single := make([]PriceResponse, total)
+	for i, rd := range rounds {
+		single[i] = c.price("eq-single", rd.Features, rd.Reserve, *rd.Valuation)
+	}
+
+	var batched []BatchRoundResult
+	for lo := 0; lo < total; lo += chunk {
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		var resp BatchPriceResponse
+		c.mustDo("POST", "/v1/streams/eq-batch/price/batch",
+			BatchPriceRequest{Rounds: rounds[lo:hi]}, &resp, http.StatusOK)
+		batched = append(batched, resp.Results...)
+	}
+	if len(batched) != total {
+		t.Fatalf("got %d batched results, want %d", len(batched), total)
+	}
+	for i := range single {
+		if batched[i].Error != "" {
+			t.Fatalf("round %d errored: %s", i, batched[i].Error)
+		}
+		b, s := batched[i].PriceResponse, single[i]
+		if b.Price != s.Price || b.Decision != s.Decision || b.Lower != s.Lower ||
+			b.Upper != s.Upper || b.ReserveBinding != s.ReserveBinding {
+			t.Fatalf("round %d diverged:\nbatch  %+v\nsingle %+v", i, b, s)
+		}
+		if (b.Accepted == nil) != (s.Accepted == nil) ||
+			(b.Accepted != nil && *b.Accepted != *s.Accepted) {
+			t.Fatalf("round %d acceptance diverged", i)
+		}
+	}
+
+	var ss, sb StatsResponse
+	c.mustDo("GET", "/v1/streams/eq-single/stats", nil, &ss, http.StatusOK)
+	c.mustDo("GET", "/v1/streams/eq-batch/stats", nil, &sb, http.StatusOK)
+	if ss.Counters != sb.Counters {
+		t.Fatalf("counters diverged:\nsingle %+v\nbatch  %+v", ss.Counters, sb.Counters)
+	}
+	if ss.Regret != sb.Regret {
+		t.Fatalf("regret stats diverged:\nsingle %+v\nbatch  %+v", ss.Regret, sb.Regret)
+	}
+}
+
+// TestBatchPricePerItemErrors checks that invalid rounds fail alone:
+// the valid rounds around them still price and the stream advances by
+// exactly the valid count.
+func TestBatchPricePerItemErrors(t *testing.T) {
+	_, c := newTestServer(t)
+	c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: "s", Dim: 2, Threshold: 0.05},
+		nil, http.StatusCreated)
+	v := 1.0
+	rounds := []BatchPriceRound{
+		{Features: []float64{1, 0}, Reserve: -1, Valuation: &v},
+		{Features: []float64{1, 0, 0}, Reserve: -1, Valuation: &v}, // wrong dim
+		{Features: []float64{1, 0}, Reserve: -1},                   // missing valuation
+		{Features: []float64{0, 1}, Reserve: -1, Valuation: &v},
+	}
+	var resp BatchPriceResponse
+	c.mustDo("POST", "/v1/streams/s/price/batch", BatchPriceRequest{Rounds: rounds}, &resp, http.StatusOK)
+	if len(resp.Results) != len(rounds) {
+		t.Fatalf("got %d results, want %d", len(resp.Results), len(rounds))
+	}
+	for _, i := range []int{0, 3} {
+		if resp.Results[i].Error != "" {
+			t.Errorf("valid round %d errored: %s", i, resp.Results[i].Error)
+		}
+	}
+	for _, i := range []int{1, 2} {
+		if resp.Results[i].Error == "" {
+			t.Errorf("invalid round %d did not error", i)
+		}
+	}
+	// Non-finite features can't even ride in as JSON; the validation
+	// still guards embedded (non-HTTP) callers of the same path.
+	vst, err := newStream(CreateStreamRequest{ID: "v", Dim: 2, Threshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validateBatchRound(vst, []float64{1, math.NaN()}, -1, &v); err == nil {
+		t.Error("non-finite feature passed validation")
+	}
+	if err := validateBatchRound(vst, []float64{1, 0}, math.Inf(1), &v); err == nil {
+		t.Error("non-finite reserve passed validation")
+	}
+	inf := math.Inf(-1)
+	if err := validateBatchRound(vst, []float64{1, 0}, -1, &inf); err == nil {
+		t.Error("non-finite valuation passed validation")
+	}
+	var st StatsResponse
+	c.mustDo("GET", "/v1/streams/s/stats", nil, &st, http.StatusOK)
+	if st.Counters.Rounds != 2 {
+		t.Fatalf("stream saw %d rounds, want 2", st.Counters.Rounds)
+	}
+}
+
+// TestBatchPriceLimits covers the batch-level 400s: empty batches and
+// batches beyond MaxBatchRounds.
+func TestBatchPriceLimits(t *testing.T) {
+	_, c := newTestServer(t)
+	c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: "s", Dim: 1, Threshold: 0.05},
+		nil, http.StatusCreated)
+	c.mustDo("POST", "/v1/streams/s/price/batch", BatchPriceRequest{}, nil, http.StatusBadRequest)
+	v := 1.0
+	over := make([]BatchPriceRound, MaxBatchRounds+1)
+	for i := range over {
+		over[i] = BatchPriceRound{Features: []float64{1}, Valuation: &v}
+	}
+	c.mustDo("POST", "/v1/streams/s/price/batch", BatchPriceRequest{Rounds: over}, nil,
+		http.StatusBadRequest)
+	c.mustDo("POST", "/v1/price/batch", MultiBatchPriceRequest{}, nil, http.StatusBadRequest)
+	c.mustDo("POST", "/v1/streams/missing/price/batch",
+		BatchPriceRequest{Rounds: []BatchPriceRound{{Features: []float64{1}, Valuation: &v}}},
+		nil, http.StatusNotFound)
+}
+
+// TestMultiBatchPrice fans rounds across streams and verifies the
+// results align with per-stream single-stream batches: per-stream order
+// is preserved through the shard-grouped worker pool, and rounds naming
+// unknown or absent streams fail individually.
+func TestMultiBatchPrice(t *testing.T) {
+	const dim, perStream = 3, 40
+	_, c := newTestServer(t)
+	streams := []string{"m-a", "m-b", "m-c"}
+	for _, id := range streams {
+		c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: id, Dim: dim, Threshold: 0.05},
+			nil, http.StatusCreated)
+		c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: "ref-" + id, Dim: dim, Threshold: 0.05},
+			nil, http.StatusCreated)
+	}
+
+	// Interleave the streams' rounds round-robin, with two broken rounds.
+	perStreamRounds := make(map[string][]BatchPriceRound)
+	for si, id := range streams {
+		perStreamRounds[id] = batchRounds(dim, perStream, uint64(100+si))
+	}
+	var multi []MultiBatchRound
+	for i := 0; i < perStream; i++ {
+		for _, id := range streams {
+			rd := perStreamRounds[id][i]
+			multi = append(multi, MultiBatchRound{
+				StreamID: id, Features: rd.Features, Reserve: rd.Reserve, Valuation: rd.Valuation,
+			})
+		}
+	}
+	v := 1.0
+	multi = append(multi,
+		MultiBatchRound{StreamID: "nope", Features: []float64{1, 0, 0}, Valuation: &v},
+		MultiBatchRound{Features: []float64{1, 0, 0}, Valuation: &v}, // no stream_id
+	)
+
+	var resp BatchPriceResponse
+	c.mustDo("POST", "/v1/price/batch", MultiBatchPriceRequest{Rounds: multi}, &resp, http.StatusOK)
+	if len(resp.Results) != len(multi) {
+		t.Fatalf("got %d results, want %d", len(resp.Results), len(multi))
+	}
+	if resp.Results[len(multi)-2].Error == "" || resp.Results[len(multi)-1].Error == "" {
+		t.Fatal("broken rounds did not error")
+	}
+
+	// Reference: the same per-stream sequences through single-stream
+	// batches on identically configured streams.
+	for _, id := range streams {
+		var ref BatchPriceResponse
+		c.mustDo("POST", "/v1/streams/ref-"+id+"/price/batch",
+			BatchPriceRequest{Rounds: perStreamRounds[id]}, &ref, http.StatusOK)
+		k := 0
+		for i, rd := range multi {
+			if rd.StreamID != id {
+				continue
+			}
+			got, want := resp.Results[i], ref.Results[k]
+			if got.Error != "" || want.Error != "" {
+				t.Fatalf("stream %s round %d errored: %q / %q", id, k, got.Error, want.Error)
+			}
+			if got.Price != want.Price || got.Decision != want.Decision ||
+				got.Lower != want.Lower || got.Upper != want.Upper ||
+				got.ReserveBinding != want.ReserveBinding ||
+				(got.Accepted == nil) != (want.Accepted == nil) ||
+				(got.Accepted != nil && *got.Accepted != *want.Accepted) {
+				t.Fatalf("stream %s round %d diverged:\nmulti %+v\nref   %+v", id, k, got, want)
+			}
+			k++
+		}
+		if k != perStream {
+			t.Fatalf("stream %s matched %d rounds, want %d", id, k, perStream)
+		}
+	}
+}
+
+// TestDeleteWhilePending is the regression test for the delete
+// lifecycle bug: removing a stream whose two-phase round is awaiting
+// feedback silently discards the buyer's decision. Delete now answers
+// 409 until the round is observed — or the caller forces it.
+func TestDeleteWhilePending(t *testing.T) {
+	_, c := newTestServer(t)
+	c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: "s", Dim: 2, Threshold: 0.05},
+		nil, http.StatusCreated)
+	c.mustDo("POST", "/v1/streams/s/quote", QuoteRequest{Features: []float64{1, 0}, Reserve: -1},
+		nil, http.StatusOK)
+
+	c.mustDo("DELETE", "/v1/streams/s", nil, nil, http.StatusConflict)
+	// Still there, still pending: the buyer's decision can land.
+	c.mustDo("POST", "/v1/streams/s/observe", ObserveRequest{Accepted: true}, nil, http.StatusOK)
+	c.mustDo("DELETE", "/v1/streams/s", nil, nil, http.StatusNoContent)
+
+	// force=true is the escape hatch for abandoning a wedged stream.
+	c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: "s2", Dim: 2, Threshold: 0.05},
+		nil, http.StatusCreated)
+	c.mustDo("POST", "/v1/streams/s2/quote", QuoteRequest{Features: []float64{1, 0}, Reserve: -1},
+		nil, http.StatusOK)
+	c.mustDo("DELETE", "/v1/streams/s2?force=true", nil, nil, http.StatusNoContent)
+	c.mustDo("GET", "/v1/streams/s2", nil, nil, http.StatusNotFound)
+}
+
+// TestCreateNegativeHorizon is the regression test for the silently
+// ignored negative horizon: it must 400 like every other bad field.
+func TestCreateNegativeHorizon(t *testing.T) {
+	_, c := newTestServer(t)
+	c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: "h", Dim: 2, Horizon: -1},
+		nil, http.StatusBadRequest)
+	c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: "h", Dim: 2, Horizon: 100},
+		nil, http.StatusCreated)
+}
+
+// TestBatchPriceConcurrent hammers both batch endpoints from concurrent
+// clients (meaningful under -race): totals must add up and every stream
+// must stay un-pending.
+func TestBatchPriceConcurrent(t *testing.T) {
+	const dim, workers, perBatch, batches = 3, 6, 20, 5
+	ts, c := newTestServer(t)
+	streams := []string{"c-0", "c-1", "c-2", "c-3"}
+	for _, id := range streams {
+		c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: id, Dim: dim, Threshold: 0.05},
+			nil, http.StatusCreated)
+	}
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			cl := &client{t: t, base: ts.URL, http: ts.Client()}
+			r := randx.NewStream(7, uint64(w))
+			theta := randx.New(1).OnSphere(dim)
+			for b := 0; b < batches; b++ {
+				var multi []MultiBatchRound
+				for i := 0; i < perBatch; i++ {
+					x := r.OnSphere(dim)
+					v := x.Dot(theta)
+					multi = append(multi, MultiBatchRound{
+						StreamID: streams[(w+i)%len(streams)],
+						Features: x, Reserve: -1e9, Valuation: &v,
+					})
+				}
+				var resp BatchPriceResponse
+				if got := cl.do("POST", "/v1/price/batch", MultiBatchPriceRequest{Rounds: multi}, &resp); got != http.StatusOK {
+					done <- fmt.Errorf("worker %d: status %d", w, got)
+					return
+				}
+				for i, res := range resp.Results {
+					if res.Error != "" {
+						done <- fmt.Errorf("worker %d round %d: %s", w, i, res.Error)
+						return
+					}
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total int
+	for _, id := range streams {
+		var st StatsResponse
+		c.mustDo("GET", "/v1/streams/"+id+"/stats", nil, &st, http.StatusOK)
+		total += st.Counters.Rounds
+	}
+	if want := workers * perBatch * batches; total != want {
+		t.Fatalf("streams saw %d rounds total, want %d", total, want)
+	}
+}

@@ -99,6 +99,64 @@ func BenchmarkServerHTTPPrice(b *testing.B) {
 					resp.Body.Close()
 				}
 			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+		})
+	}
+}
+
+// BenchmarkServerHTTPPriceBatch measures the batched HTTP path: one
+// request prices `batch` full rounds on one stream. ns/op is per BATCH;
+// compare the rounds/s metric against BenchmarkServerHTTPPrice (one
+// round per op) for the per-round speedup.
+func BenchmarkServerHTTPPriceBatch(b *testing.B) {
+	const dim = 5
+	for _, batch := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			reg, ids := benchRegistry(b, 16, dim)
+			ts := httptest.NewServer(NewServer(reg).Handler())
+			defer ts.Close()
+			theta := randx.New(1).OnSphere(dim)
+			var worker atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := worker.Add(1)
+				r := randx.NewStream(2, w)
+				i := int(w)
+				rounds := make([]BatchPriceRound, batch)
+				vals := make([]float64, batch)
+				for pb.Next() {
+					i++
+					for k := range rounds {
+						x := r.OnSphere(dim)
+						vals[k] = x.Dot(theta)
+						rounds[k] = BatchPriceRound{Features: x, Reserve: -1e9, Valuation: &vals[k]}
+					}
+					body, _ := json.Marshal(BatchPriceRequest{Rounds: rounds})
+					resp, err := http.Post(
+						ts.URL+"/v1/streams/"+ids[i%len(ids)]+"/price/batch",
+						"application/json", bytes.NewReader(body))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						b.Errorf("status %d", resp.StatusCode)
+						resp.Body.Close()
+						return
+					}
+					var pr BatchPriceResponse
+					json.NewDecoder(resp.Body).Decode(&pr)
+					resp.Body.Close()
+					if len(pr.Results) != batch {
+						b.Errorf("got %d results, want %d", len(pr.Results), batch)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*float64(batch)/b.Elapsed().Seconds(), "rounds/s")
 		})
 	}
 }

@@ -43,6 +43,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/streams/{id}", s.handleInfo)
 	mux.HandleFunc("DELETE /v1/streams/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/streams/{id}/price", s.handlePrice)
+	mux.HandleFunc("POST /v1/streams/{id}/price/batch", s.handleBatchPrice)
+	mux.HandleFunc("POST /v1/price/batch", s.handleMultiBatchPrice)
 	mux.HandleFunc("POST /v1/streams/{id}/quote", s.handleQuote)
 	mux.HandleFunc("POST /v1/streams/{id}/observe", s.handleObserve)
 	mux.HandleFunc("GET /v1/streams/{id}/snapshot", s.handleSnapshot)
@@ -85,7 +87,10 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.reg.Delete(r.PathValue("id")); err != nil {
+	// ?force=true discards a pending two-phase round along with the
+	// stream; without it a pending stream answers 409.
+	force := r.URL.Query().Get("force") == "true"
+	if err := s.reg.Delete(r.PathValue("id"), force); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -223,22 +228,29 @@ func (s *Server) stream(w http.ResponseWriter, r *http.Request) (*Stream, bool) 
 	return st, true
 }
 
-// checkFeatures validates dimension and finiteness, returning the vector.
-func checkFeatures(w http.ResponseWriter, st *Stream, raw []float64, reserve float64) (linalg.Vector, bool) {
+// validateFeatures checks dimension and finiteness of one round's
+// inputs; it is the shared core of checkFeatures and the per-item batch
+// validation, so batch items fail with the same messages as single
+// rounds.
+func validateFeatures(st *Stream, raw []float64, reserve float64) error {
 	if len(raw) != st.Dim() {
-		writeStatusError(w, http.StatusBadRequest,
-			fmt.Sprintf("feature dimension %d, stream wants %d", len(raw), st.Dim()))
-		return nil, false
+		return fmt.Errorf("feature dimension %d, stream wants %d", len(raw), st.Dim())
 	}
 	for i, v := range raw {
 		if !isFinite(v) {
-			writeStatusError(w, http.StatusBadRequest,
-				fmt.Sprintf("feature %d is %g, want finite", i, v))
-			return nil, false
+			return fmt.Errorf("feature %d is %g, want finite", i, v)
 		}
 	}
 	if !isFinite(reserve) {
-		writeStatusError(w, http.StatusBadRequest, "reserve must be finite")
+		return fmt.Errorf("reserve must be finite")
+	}
+	return nil
+}
+
+// checkFeatures validates dimension and finiteness, returning the vector.
+func checkFeatures(w http.ResponseWriter, st *Stream, raw []float64, reserve float64) (linalg.Vector, bool) {
+	if err := validateFeatures(st, raw, reserve); err != nil {
+		writeStatusError(w, http.StatusBadRequest, err.Error())
 		return nil, false
 	}
 	return linalg.Vector(raw), true
@@ -283,6 +295,7 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrStreamNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrStreamExists),
+		errors.Is(err, ErrStreamPending),
 		errors.Is(err, pricing.ErrPendingRound),
 		errors.Is(err, pricing.ErrNoPendingRound):
 		status = http.StatusConflict

@@ -20,6 +20,7 @@ import (
 var (
 	ErrStreamExists   = errors.New("server: stream already exists")
 	ErrStreamNotFound = errors.New("server: stream not found")
+	ErrStreamPending  = errors.New("server: stream has a round pending feedback")
 )
 
 // Stream is one hosted pricing stream: a concurrency-safe mechanism plus
@@ -59,6 +60,9 @@ func newStream(req CreateStreamRequest) (*Stream, error) {
 	}
 	if !isFinite(req.Threshold) || req.Threshold < 0 {
 		return nil, fmt.Errorf("server: threshold %g invalid", req.Threshold)
+	}
+	if req.Horizon < 0 {
+		return nil, fmt.Errorf("server: horizon %d invalid, want ≥ 0", req.Horizon)
 	}
 	opts := []pricing.Option{pricing.WithUncertainty(req.Delta)}
 	if req.Reserve {
@@ -124,6 +128,30 @@ func (st *Stream) Price(features linalg.Vector, reserve, valuation float64) (pri
 	st.trackMu.Unlock()
 	return q, accepted, nil
 }
+
+// PriceBatch runs len(rounds) full rounds back to back under one
+// acquisition of the stream's lock, accepting each offer iff
+// price ≤ valuations[i]. Successful rounds are recorded in the regret
+// tracker under one tracker-lock acquisition. valuations must align
+// with rounds.
+func (st *Stream) PriceBatch(rounds []pricing.BatchRound, valuations []float64) []pricing.BatchOutcome {
+	out := st.poster.PriceBatch(rounds, func(i int, q pricing.Quote) bool {
+		return pricing.Sold(q.Price, valuations[i])
+	})
+	st.trackMu.Lock()
+	for i, o := range out {
+		if o.Err == nil {
+			st.tracker.Record(valuations[i], rounds[i].Reserve, o.Quote)
+		}
+	}
+	st.trackMu.Unlock()
+	return out
+}
+
+// Pending reports whether the stream's two-phase round is awaiting
+// feedback. SyncPoster.Pending reads a lock-free shadow maintained
+// under the pricing lock, so this never waits on an in-flight round.
+func (st *Stream) Pending() bool { return st.poster.Pending() }
 
 // Quote opens a round without resolving it (phase one of the two-phase
 // protocol). The mechanism stays pending until Observe.
@@ -194,11 +222,19 @@ func NewRegistry(shards int) *Registry {
 	return r
 }
 
-func (r *Registry) shard(id string) *registryShard {
+func (r *Registry) shardIndex(id string) int {
 	h := fnv.New32a()
 	h.Write([]byte(id))
-	return &r.shards[h.Sum32()%uint32(len(r.shards))]
+	return int(h.Sum32() % uint32(len(r.shards)))
 }
+
+func (r *Registry) shard(id string) *registryShard {
+	return &r.shards[r.shardIndex(id)]
+}
+
+// ShardIndex exposes the stream's shard placement so batch callers can
+// group work by shard before fanning out.
+func (r *Registry) ShardIndex(id string) int { return r.shardIndex(id) }
 
 // Create registers a new stream; it fails if the ID is taken.
 func (r *Registry) Create(req CreateStreamRequest) (*Stream, error) {
@@ -247,13 +283,28 @@ func (r *Registry) GetOrRestore(id string, snap *pricing.Snapshot) (*Stream, boo
 	return st, true, nil
 }
 
-// Delete removes a stream.
-func (r *Registry) Delete(id string) error {
+// Delete removes a stream. Unless force is set, it refuses to remove a
+// stream whose two-phase round is pending feedback — deleting then would
+// silently discard the buyer's in-flight decision, the same hazard
+// RestoreSnapshot guards against.
+//
+// The probe reads SyncPoster's lock-free pending shadow (exact — it is
+// maintained under the pricing lock), so it can run under the shard
+// lock, atomically with the removal, without ever waiting on an
+// in-flight pricing round. A quote concurrent with the delete can
+// still open its round just after the probe and lose its feedback —
+// the unavoidable case of a caller quoting through a *Stream obtained
+// before the delete completed.
+func (r *Registry) Delete(id string, force bool) error {
 	sh := r.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if _, ok := sh.streams[id]; !ok {
+	st, ok := sh.streams[id]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrStreamNotFound, id)
+	}
+	if !force && st.Pending() {
+		return fmt.Errorf("%w: %q", ErrStreamPending, id)
 	}
 	delete(sh.streams, id)
 	return nil

@@ -359,7 +359,7 @@ func TestRegistrySharding(t *testing.T) {
 		}
 	}
 	for i := 0; i < streams; i++ {
-		if err := reg.Delete(fmt.Sprintf("stream-%03d", i)); err != nil {
+		if err := reg.Delete(fmt.Sprintf("stream-%03d", i), false); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -72,6 +72,53 @@ type PriceResponse struct {
 	Accepted       *bool   `json:"accepted,omitempty"`
 }
 
+// BatchPriceRound is one round inside a batched pricing request. The
+// fields mirror PriceRequest; Valuation is required — batching exists
+// for the high-throughput valuation-callback path, two-phase rounds
+// cannot batch (each one blocks on external feedback).
+type BatchPriceRound struct {
+	Features  []float64 `json:"features"`
+	Reserve   float64   `json:"reserve,omitempty"`
+	Valuation *float64  `json:"valuation,omitempty"`
+}
+
+// BatchPriceRequest prices k rounds on one stream with a single JSON
+// decode and a single stream-lock acquisition (POST
+// /v1/streams/{id}/price/batch). Rounds run back to back in order.
+type BatchPriceRequest struct {
+	Rounds []BatchPriceRound `json:"rounds"`
+}
+
+// MultiBatchRound is one round inside a multi-stream batched pricing
+// request: a BatchPriceRound plus the target stream.
+type MultiBatchRound struct {
+	StreamID  string    `json:"stream_id"`
+	Features  []float64 `json:"features"`
+	Reserve   float64   `json:"reserve,omitempty"`
+	Valuation *float64  `json:"valuation,omitempty"`
+}
+
+// MultiBatchPriceRequest prices rounds across many streams in one
+// request (POST /v1/price/batch). Rounds are grouped by stream — order
+// is preserved within a stream, not across streams — and fanned out
+// over a bounded worker pool, one shard's streams per worker at a time.
+type MultiBatchPriceRequest struct {
+	Rounds []MultiBatchRound `json:"rounds"`
+}
+
+// BatchRoundResult reports one round of a batch: the quote fields on
+// success, or Error. Results align index-for-index with request rounds.
+type BatchRoundResult struct {
+	PriceResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchPriceResponse carries the per-round results of either batch
+// endpoint.
+type BatchPriceResponse struct {
+	Results []BatchRoundResult `json:"results"`
+}
+
 // RegretStats summarizes the stream's regret bookkeeping. It covers only
 // the rounds priced through the one-shot /price endpoint, where the
 // buyer's valuation is known to the server.
