@@ -1,6 +1,10 @@
-// Command brokerd serves the ellipsoid posted-price mechanism over
-// HTTP/JSON: many independent pricing streams (one per consumer segment
-// or query family) behind a sharded registry.
+// Command brokerd serves posted-price mechanisms over HTTP/JSON: many
+// independent pricing streams (one per consumer segment or query family)
+// behind a sharded registry. A stream is a pricing family plus a model
+// config — "linear" (the ellipsoid mechanism, default), "nonlinear"
+// (links, feature maps, landmark kernels), or "sgd" (the gradient
+// comparator) — all hosted behind the same create/price/snapshot/restore
+// surface.
 //
 // Usage:
 //
@@ -15,6 +19,19 @@
 //	curl localhost:8080/v1/streams/segment-a/stats
 //	curl localhost:8080/v1/streams/segment-a/snapshot > segment-a.json
 //	curl -X POST localhost:8080/v1/streams/segment-a/restore -d @segment-a.json
+//
+// Non-linear families ride the same endpoints; only create changes:
+//
+//	curl -X POST localhost:8080/v1/streams -d '{
+//	  "id":"hedonic","family":"nonlinear","dim":5,"reserve":true,
+//	  "model":{"link":"exp"}}'
+//	curl -X POST localhost:8080/v1/streams -d '{
+//	  "id":"kernelized","family":"nonlinear","dim":2,
+//	  "model":{"map":"landmark","kernel":{"type":"rbf","gamma":0.8},
+//	           "landmarks":[[0,0],[0.5,0.5],[1,1]]}}'
+//	curl -X POST localhost:8080/v1/streams -d '{
+//	  "id":"baseline","family":"sgd","dim":5,"reserve":true,
+//	  "model":{"eta0":0.5,"margin":1.0}}'
 package main
 
 import (

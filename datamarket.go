@@ -68,6 +68,42 @@ type Option = pricing.Option
 // Model bundles the link g and feature map φ of a market value family.
 type Model = pricing.Model
 
+// Family identifies a hosted pricing family (linear, nonlinear, sgd).
+type Family = pricing.Family
+
+// Family values.
+const (
+	FamilyLinear    = pricing.FamilyLinear
+	FamilyNonlinear = pricing.FamilyNonlinear
+	FamilySGD       = pricing.FamilySGD
+)
+
+// FamilySpec is the family factory input: family, dimension, and model
+// config.
+type FamilySpec = pricing.FamilySpec
+
+// ModelConfig is the serializable model description of a family.
+type ModelConfig = pricing.ModelConfig
+
+// KernelConfig is the serializable description of a landmark kernel.
+type KernelConfig = pricing.KernelConfig
+
+// FamilyPoster is the capability bundle every hosted family implements
+// (posting, pending introspection, counters, envelope snapshots).
+type FamilyPoster = pricing.FamilyPoster
+
+// Envelope is the versioned, family-tagged snapshot wire format.
+type Envelope = pricing.Envelope
+
+// Kernel is the Mercer kernel interface of the kernelized model.
+type Kernel = pricing.Kernel
+
+// LandmarkMap is the fixed-budget realization of the kernelized model.
+type LandmarkMap = pricing.LandmarkMap
+
+// SGDPoster is the gradient-descent pricing comparator of §VI-B.
+type SGDPoster = pricing.SGDPoster
+
 // Poster is the interface satisfied by every pricing strategy.
 type Poster = pricing.Poster
 
@@ -130,6 +166,36 @@ func NewIntervalMechanism(lo, hi float64, opts ...Option) (*IntervalMechanism, e
 func NewNonlinearMechanism(model Model, dim int, radius float64, opts ...Option) (*NonlinearMechanism, error) {
 	return pricing.NewNonlinear(model, dim, radius, opts...)
 }
+
+// NewFamilyPoster builds a poster of the requested family; an empty
+// family selects linear.
+func NewFamilyPoster(spec FamilySpec) (FamilyPoster, error) { return pricing.NewFamilyPoster(spec) }
+
+// Families lists the hosted family names.
+func Families() []Family { return pricing.Families() }
+
+// RestoreFamilyPoster rebuilds a poster of the envelope's family.
+func RestoreFamilyPoster(env *Envelope) (FamilyPoster, error) { return pricing.RestoreEnvelope(env) }
+
+// DecodeEnvelope parses a family-tagged snapshot envelope (legacy bare
+// ellipsoid snapshots are upgraded to linear envelopes).
+func DecodeEnvelope(data []byte) (*Envelope, error) { return pricing.DecodeEnvelope(data) }
+
+// BuildModel instantiates a nonlinear model from its serializable config.
+func BuildModel(cfg ModelConfig) (Model, error) { return pricing.BuildModel(cfg) }
+
+// NewSGDPoster builds the SGD comparator for n-dimensional features.
+func NewSGDPoster(n int, eta0, margin float64, useReserve bool) (*SGDPoster, error) {
+	return pricing.NewSGD(n, eta0, margin, useReserve)
+}
+
+// NewLandmarkMap builds a landmark kernel feature map.
+func NewLandmarkMap(k Kernel, landmarks []Vector) (*LandmarkMap, error) {
+	return pricing.NewLandmarkMap(k, landmarks)
+}
+
+// KernelizedModel is v = φ(x)ᵀθ* over landmark kernel features.
+func KernelizedModel(m *LandmarkMap) Model { return pricing.KernelizedModel(m) }
 
 // NewBroker builds the end-to-end data market broker.
 func NewBroker(cfg BrokerConfig) (*Broker, error) { return market.NewBroker(cfg) }

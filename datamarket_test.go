@@ -137,3 +137,58 @@ func TestFacadeNonlinearAndHelpers(t *testing.T) {
 	b.Observe(true)
 	var _ datamarket.Poster = b
 }
+
+// TestFacadeFamilyAPI exercises the exported family factory and envelope
+// round trip.
+func TestFacadeFamilyAPI(t *testing.T) {
+	if got := datamarket.Families(); len(got) != 3 {
+		t.Fatalf("Families() = %v", got)
+	}
+	fp, err := datamarket.NewFamilyPoster(datamarket.FamilySpec{
+		Family: datamarket.FamilySGD, Dim: 2, Reserve: true,
+		Model: datamarket.ModelConfig{Eta0: 0.5, Margin: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Family() != datamarket.FamilySGD {
+		t.Fatalf("family = %q", fp.Family())
+	}
+	q, err := fp.PostPrice(datamarket.Vector{0.4, 0.6}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fp.Pending() {
+		t.Fatal("not pending after PostPrice")
+	}
+	if err := fp.Observe(datamarket.Sold(q.Price, 0.8)); err != nil {
+		t.Fatal(err)
+	}
+	env, err := fp.SnapshotEnvelope()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := datamarket.DecodeEnvelope(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := datamarket.RestoreFamilyPoster(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Counters() != fp.Counters() {
+		t.Fatalf("counters %+v vs %+v", restored.Counters(), fp.Counters())
+	}
+	// A nonlinear model built from config matches the typed constructor.
+	m, err := datamarket.BuildModel(datamarket.ModelConfig{Link: "exp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Link.Name() != datamarket.LogLinearModel().Link.Name() {
+		t.Fatalf("link %q", m.Link.Name())
+	}
+}

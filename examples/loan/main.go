@@ -85,7 +85,11 @@ func main() {
 	fmt.Printf("regret vs a clairvoyant rate desk: %.1f (%.2f%%)\n",
 		tracker.CumulativeRegret(), 100*tracker.RegretRatio())
 	// The learned elasticities can be read back from the knowledge set.
-	lo, hi := mech.Inner().ValueBounds(model.Map.Map(datamarket.Vector{0.7, 1, 0.4, 0.8, 1, 1}))
+	phi, err := model.Map.Map(datamarket.Vector{0.7, 1, 0.4, 0.8, 1, 1})
+	if err != nil {
+		panic(err)
+	}
+	lo, hi := mech.Inner().ValueBounds(phi)
 	fmt.Printf("typical application's log-rate bracket: [%.3f, %.3f] (truth %.3f)\n",
 		lo, hi, math.Log(model.Value(datamarket.Vector{0.7, 1, 0.4, 0.8, 1, 1}, theta)))
 }

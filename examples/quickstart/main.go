@@ -1,74 +1,164 @@
-// Quickstart: price a stream of differentiated products with the
-// reserve-constrained ellipsoid mechanism and watch the regret ratio
-// fall as the broker learns the hidden market value model.
+// Quickstart: serve a kernelized pricing stream with brokerd.
+//
+// A stream is a *family* plus a *model config*, not a concrete mechanism:
+// this demo stands up the brokerd HTTP server in-process, creates a
+// nonlinear stream whose market value model is a landmark RBF kernel
+// machine (§IV-A's kernelized model with a fixed landmark budget), prices
+// thousands of rounds through the batch endpoint, and finishes with the
+// family-tagged snapshot/restore loop a crash recovery would use.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 
 	"datamarket"
+	"datamarket/internal/kernel"
 	"datamarket/internal/randx"
+	"datamarket/internal/server"
+)
+
+const (
+	dim       = 2     // input feature dimension
+	batchSize = 256   // rounds per HTTP batch request
+	batches   = 16    // 4096 rounds total
+	gamma     = 0.8   // RBF kernel width
+	threshold = 0.005 // exploration threshold ε
 )
 
 func main() {
-	const (
-		n    = 12    // feature dimension
-		T    = 20000 // pricing rounds
-		seed = 7
-	)
-
-	// The broker knows only that ‖θ*‖ ≤ R; everything else is learned
-	// from accept/reject feedback.
-	R := 2 * math.Sqrt(float64(n))
-	mech, err := datamarket.NewMechanism(n, R,
-		datamarket.WithReserve(),
-		datamarket.WithThreshold(datamarket.DefaultThreshold(n, T, 0)))
-	if err != nil {
-		panic(err)
+	// Landmarks on a 3×3 grid over the feature square: the public part of
+	// the kernelized model. Only the weights over K(x, lⱼ) are learned.
+	var landmarks [][]float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			landmarks = append(landmarks, []float64{float64(i) / 2, float64(j) / 2})
+		}
 	}
 
-	// Hidden ground truth for the demo: a positive weight vector.
-	rng := randx.New(seed)
-	theta := rng.NormalVector(n, 1)
+	// Hidden ground truth: positive weights over the landmark features.
+	rng := randx.New(7)
+	theta := rng.NormalVector(len(landmarks), 1)
 	for i := range theta {
 		theta[i] = math.Abs(theta[i])
 	}
 	theta.Normalize()
-	theta.Scale(math.Sqrt(2 * float64(n)))
-
-	tracker := datamarket.NewTracker(false)
-	for t := 1; t <= T; t++ {
-		// Each round: a product arrives with positive unit features and a
-		// seller-imposed reserve price below its market value.
-		x := rng.OnSphere(n)
-		for i := range x {
-			x[i] = math.Abs(x[i])
+	rbf, err := kernel.NewRBF(gamma)
+	check(err)
+	value := func(x datamarket.Vector) float64 {
+		var v float64
+		for j, l := range landmarks {
+			v += rbf.Eval(x, datamarket.Vector(l)) * theta[j]
 		}
-		value := x.Dot(theta)
-		reserve := 0.75 * value
+		return v
+	}
 
-		quote, err := mech.PostPrice(x, reserve)
-		if err != nil {
-			panic(err)
-		}
-		if quote.Decision != datamarket.DecisionSkip {
-			// The buyer accepts iff the price is at most her valuation —
-			// the only feedback the broker ever sees.
-			if err := mech.Observe(datamarket.Sold(quote.Price, value)); err != nil {
-				panic(err)
+	// Start brokerd's server on a loopback listener.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go http.Serve(ln, server.NewServer(nil).Handler())
+	base := "http://" + ln.Addr().String()
+
+	// Create the kernelized stream: family "nonlinear", identity link,
+	// landmark map over the RBF kernel.
+	post(base+"/v1/streams", server.CreateStreamRequest{
+		ID: "kernelized", Family: "nonlinear", Dim: dim,
+		Reserve: true, Threshold: threshold,
+		Model: &datamarket.ModelConfig{
+			Map:       "landmark",
+			Kernel:    &datamarket.KernelConfig{Type: "rbf", Gamma: gamma},
+			Landmarks: landmarks,
+		},
+	}, nil)
+
+	// Price in batches: each round a query arrives with features in the
+	// unit square, a seller-imposed reserve below its market value, and a
+	// private valuation the server uses as the accept/reject callback.
+	var revenue float64
+	var accepts int
+	for b := 0; b < batches; b++ {
+		req := server.BatchPriceRequest{Rounds: make([]server.BatchPriceRound, batchSize)}
+		for i := range req.Rounds {
+			x := rng.UniformVector(dim, 0, 1)
+			v := value(x)
+			req.Rounds[i] = server.BatchPriceRound{
+				Features: x, Reserve: 0.75 * v, Valuation: &v,
 			}
 		}
-		tracker.Record(value, reserve, quote)
-
-		if t == 10 || t == 100 || t == 1000 || t == T {
-			fmt.Printf("after %6d rounds: cumulative regret %8.2f, regret ratio %6.2f%%\n",
-				t, tracker.CumulativeRegret(), 100*tracker.RegretRatio())
+		var resp server.BatchPriceResponse
+		post(base+"/v1/streams/kernelized/price/batch", req, &resp)
+		for _, res := range resp.Results {
+			if res.Error != "" {
+				panic(res.Error)
+			}
+			if res.Accepted != nil && *res.Accepted {
+				revenue += res.Price
+				accepts++
+			}
+		}
+		if b == 0 || b == batches-1 {
+			fmt.Printf("after %4d rounds: %4d accepted, revenue %7.2f\n",
+				(b+1)*batchSize, accepts, revenue)
 		}
 	}
 
-	c := mech.Counters()
-	fmt.Printf("\nexploratory rounds: %d, conservative rounds: %d, ellipsoid cuts: %d\n",
-		c.Exploratory, c.Conservative, c.CutsApplied)
-	fmt.Printf("total revenue earned: %.2f\n", tracker.CumulativeRevenue())
+	var stats server.StatsResponse
+	get(base+"/v1/streams/kernelized/stats", &stats)
+	fmt.Printf("\nfamily %q: %d exploratory / %d conservative rounds, %d cuts, regret ratio %.2f%%\n",
+		stats.Family, stats.Counters.Exploratory, stats.Counters.Conservative,
+		stats.Counters.CutsApplied, 100*stats.Regret.RegretRatio)
+
+	// Crash recovery: the snapshot is a family-tagged envelope; restoring
+	// it under a fresh ID rebuilds the same kernel machine, and the two
+	// streams agree exactly on the next quote.
+	var env datamarket.Envelope
+	get(base+"/v1/streams/kernelized/snapshot", &env)
+	post(base+"/v1/streams/recovered/restore", &env, nil)
+	probe := datamarket.Vector{0.4, 0.6}
+	v := value(probe)
+	var qa, qb server.PriceResponse
+	post(base+"/v1/streams/kernelized/price",
+		server.PriceRequest{Features: probe, Reserve: 0.75 * v, Valuation: &v}, &qa)
+	post(base+"/v1/streams/recovered/price",
+		server.PriceRequest{Features: probe, Reserve: 0.75 * v, Valuation: &v}, &qb)
+	fmt.Printf("snapshot family %q restored: original posts %.4f, recovered posts %.4f (truth %.4f)\n",
+		env.Family, qa.Price, qb.Price, v)
+}
+
+// post sends a JSON request and decodes the response into out (when
+// non-nil), panicking on any non-2xx status.
+func post(url string, body, out any) {
+	data, err := json.Marshal(body)
+	check(err)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	check(err)
+	decode(resp, out)
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	check(err)
+	decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e server.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&e)
+		panic(fmt.Sprintf("status %d: %s", resp.StatusCode, e.Error))
+	}
+	if out != nil {
+		check(json.NewDecoder(resp.Body).Decode(out))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

@@ -605,3 +605,75 @@ func TestTradeBatchPartialFailure(t *testing.T) {
 		})
 	}
 }
+
+// TestBrokerHostsEveryFamily drives the broker with a poster of each
+// hosted pricing family behind SyncPoster, through both Trade and
+// TradeBatch: the broker is mechanism-agnostic and only requires the
+// RoundPoster/BatchRoundPoster interfaces.
+func TestBrokerHostsEveryFamily(t *testing.T) {
+	const owners, n, T = 20, 3, 120
+	specs := map[pricing.Family]pricing.FamilySpec{
+		pricing.FamilyLinear: {Family: pricing.FamilyLinear, Dim: n, Reserve: true, Threshold: 0.05},
+		pricing.FamilyNonlinear: {Family: pricing.FamilyNonlinear, Dim: n, Reserve: true, Threshold: 0.05,
+			Model: pricing.ModelConfig{Link: "exp"}},
+		pricing.FamilySGD: {Family: pricing.FamilySGD, Dim: n, Reserve: true,
+			Model: pricing.ModelConfig{Eta0: 0.5, Margin: 1.0}},
+	}
+	for fam, spec := range specs {
+		fp, err := pricing.NewFamilyPoster(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		ownerPop := testOwners(t, owners, 51)
+		b, err := NewBroker(Config{
+			Owners: ownerPop, Mechanism: pricing.NewSync(fp),
+			FeatureDim: n, Seed: 52, KeepRecords: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		theta := randx.New(53).NormalVector(n, 1)
+		for i := range theta {
+			theta[i] = math.Abs(theta[i])
+		}
+		theta.Normalize()
+		theta.Scale(math.Sqrt(2 * float64(n)))
+		cm, err := NewConsumerModel(ConsumerConfig{Owners: ownerPop, FeatureDim: n, Theta: theta})
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		rng := randx.New(54)
+		queries := make([]Query, T)
+		for i := range queries {
+			q, err := cm.NextQuery(rng)
+			if err != nil {
+				t.Fatalf("%s: %v", fam, err)
+			}
+			queries[i] = q
+		}
+		// Half through single trades, half through one batch.
+		for i := 0; i < T/2; i++ {
+			if _, err := b.Trade(queries[i]); err != nil {
+				t.Fatalf("%s: trade %d: %v", fam, i, err)
+			}
+		}
+		txs, err := b.TradeBatch(queries[T/2:])
+		if err != nil {
+			t.Fatalf("%s: TradeBatch: %v", fam, err)
+		}
+		if len(txs) != T-T/2 {
+			t.Fatalf("%s: batch produced %d transactions", fam, len(txs))
+		}
+		ledger := b.Ledger()
+		if len(ledger) != T {
+			t.Fatalf("%s: ledger has %d rounds, want %d", fam, len(ledger), T)
+		}
+		// The reserve price constraint holds for every family: no sold
+		// round loses money.
+		for i, tx := range ledger {
+			if tx.Sold && tx.Profit < -1e-9 {
+				t.Fatalf("%s: round %d sold at a loss: %+v", fam, i, tx)
+			}
+		}
+	}
+}

@@ -1,0 +1,408 @@
+package pricing
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"datamarket/internal/kernel"
+	"datamarket/internal/linalg"
+	"datamarket/internal/randx"
+)
+
+// familySpecs returns one valid spec per hosted family, sharing dim 2.
+func familySpecs() map[Family]FamilySpec {
+	return map[Family]FamilySpec{
+		FamilyLinear: {Family: FamilyLinear, Dim: 2, Reserve: true, Threshold: 0.05},
+		FamilyNonlinear: {Family: FamilyNonlinear, Dim: 2, Reserve: true, Threshold: 0.05,
+			Model: ModelConfig{
+				Link:      "exp",
+				Map:       "landmark",
+				Kernel:    &KernelConfig{Type: "rbf", Gamma: 0.5},
+				Landmarks: [][]float64{{0, 0}, {1, 0}, {0, 1}},
+			}},
+		FamilySGD: {Family: FamilySGD, Dim: 2, Reserve: true,
+			Model: ModelConfig{Eta0: 0.5, Margin: 1.0}},
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	got := Families()
+	want := []Family{FamilyLinear, FamilyNonlinear, FamilySGD}
+	if len(got) != len(want) {
+		t.Fatalf("Families() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Families() = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestNewFamilyPosterEachFamily builds every family through the factory
+// and checks the capability bundle: dim, family tag, pending flow, and
+// counters.
+func TestNewFamilyPosterEachFamily(t *testing.T) {
+	for fam, spec := range familySpecs() {
+		fp, err := NewFamilyPoster(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if fp.Family() != fam {
+			t.Fatalf("%s: Family() = %q", fam, fp.Family())
+		}
+		if fp.Dim() != 2 {
+			t.Fatalf("%s: Dim() = %d", fam, fp.Dim())
+		}
+		if fp.Pending() {
+			t.Fatalf("%s: fresh poster pending", fam)
+		}
+		x := linalg.VectorOf(0.5, 0.5)
+		q, err := fp.PostPrice(x, 0.01)
+		if err != nil {
+			t.Fatalf("%s: PostPrice: %v", fam, err)
+		}
+		if q.Decision == DecisionSkip {
+			t.Fatalf("%s: unexpected skip", fam)
+		}
+		if !fp.Pending() {
+			t.Fatalf("%s: not pending after PostPrice", fam)
+		}
+		if err := fp.Observe(true); err != nil {
+			t.Fatalf("%s: Observe: %v", fam, err)
+		}
+		if fp.Pending() {
+			t.Fatalf("%s: pending after Observe", fam)
+		}
+		c := fp.Counters()
+		if c.Rounds != 1 || c.Accepts != 1 {
+			t.Fatalf("%s: counters %+v", fam, c)
+		}
+	}
+}
+
+// TestFamilyDefaultsToLinear preserves the pre-family create surface.
+func TestFamilyDefaultsToLinear(t *testing.T) {
+	fp, err := NewFamilyPoster(FamilySpec{Dim: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Family() != FamilyLinear {
+		t.Fatalf("empty family built %q", fp.Family())
+	}
+	if _, ok := fp.(*Mechanism); !ok {
+		t.Fatalf("empty family built %T", fp)
+	}
+}
+
+// TestNewFamilyPosterValidation covers the factory's error surface.
+func TestNewFamilyPosterValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec FamilySpec
+		want string
+	}{
+		{"unknown family", FamilySpec{Family: "quantum", Dim: 2}, "unknown family"},
+		{"linear with model", FamilySpec{Family: FamilyLinear, Dim: 2, Model: ModelConfig{Link: "exp"}}, "no model config"},
+		{"bad dim", FamilySpec{Family: FamilyLinear, Dim: 0}, "dimension"},
+		{"negative radius", FamilySpec{Family: FamilyLinear, Dim: 2, Radius: -1}, "radius"},
+		{"nan radius", FamilySpec{Family: FamilyLinear, Dim: 2, Radius: math.NaN()}, "radius"},
+		{"negative delta", FamilySpec{Family: FamilyLinear, Dim: 2, Delta: -0.1}, "delta"},
+		{"negative threshold", FamilySpec{Family: FamilyLinear, Dim: 2, Threshold: -0.1}, "threshold"},
+		{"negative horizon", FamilySpec{Family: FamilyLinear, Dim: 2, Horizon: -1}, "horizon"},
+		{"unknown link", FamilySpec{Family: FamilyNonlinear, Dim: 2, Model: ModelConfig{Link: "tanh"}}, "unknown link"},
+		{"unknown map", FamilySpec{Family: FamilyNonlinear, Dim: 2, Model: ModelConfig{Map: "fourier"}}, "unknown feature map"},
+		{"landmark without kernel", FamilySpec{Family: FamilyNonlinear, Dim: 2,
+			Model: ModelConfig{Map: "landmark", Landmarks: [][]float64{{0, 0}}}}, "needs a kernel"},
+		{"kernel without landmark map", FamilySpec{Family: FamilyNonlinear, Dim: 2,
+			Model: ModelConfig{Kernel: &KernelConfig{Type: "rbf", Gamma: 1}}}, "only valid with the landmark map"},
+		{"unknown kernel", FamilySpec{Family: FamilyNonlinear, Dim: 2,
+			Model: ModelConfig{Map: "landmark", Kernel: &KernelConfig{Type: "sinc"}, Landmarks: [][]float64{{0, 0}}}}, "unknown kernel"},
+		{"bad rbf gamma", FamilySpec{Family: FamilyNonlinear, Dim: 2,
+			Model: ModelConfig{Map: "landmark", Kernel: &KernelConfig{Type: "rbf"}, Landmarks: [][]float64{{0, 0}}}}, "gamma"},
+		{"landmark dim mismatch", FamilySpec{Family: FamilyNonlinear, Dim: 3,
+			Model: ModelConfig{Map: "landmark", Kernel: &KernelConfig{Type: "rbf", Gamma: 1}, Landmarks: [][]float64{{0, 0}}}}, "landmarks have dimension"},
+		{"non-finite landmark", FamilySpec{Family: FamilyNonlinear, Dim: 2,
+			Model: ModelConfig{Map: "landmark", Kernel: &KernelConfig{Type: "rbf", Gamma: 1}, Landmarks: [][]float64{{0, math.Inf(1)}}}}, "finite"},
+		{"sgd with nonlinear model", FamilySpec{Family: FamilySGD, Dim: 2, Model: ModelConfig{Link: "exp"}}, "eta0/margin"},
+		{"sgd with horizon", FamilySpec{Family: FamilySGD, Dim: 2, Horizon: 100}, "does not use"},
+		{"sgd negative margin", FamilySpec{Family: FamilySGD, Dim: 2, Model: ModelConfig{Margin: -1}}, "margin"},
+		{"nonlinear with eta0", FamilySpec{Family: FamilyNonlinear, Dim: 2, Model: ModelConfig{Eta0: 0.5}}, "sgd family"},
+	}
+	for _, tc := range cases {
+		_, err := NewFamilyPoster(tc.spec)
+		if err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// driveRounds runs T deterministic accept/reject rounds against fp.
+func driveRounds(t *testing.T, fp FamilyPoster, T int, seed uint64) {
+	t.Helper()
+	r := randx.New(seed)
+	for i := 0; i < T; i++ {
+		x := r.OnSphere(fp.Dim())
+		for j := range x {
+			x[j] = math.Abs(x[j]) + 0.1
+		}
+		q, err := fp.PostPrice(x, 0.01)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if q.Decision == DecisionSkip {
+			continue
+		}
+		if err := fp.Observe(i%3 != 0); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+}
+
+// TestEnvelopeRoundTripEachFamily snapshots a warmed-up poster of every
+// family through JSON and checks that the restored poster is behaviorally
+// identical: same next quote and same counters.
+func TestEnvelopeRoundTripEachFamily(t *testing.T) {
+	for fam, spec := range familySpecs() {
+		fp, err := NewFamilyPoster(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		driveRounds(t, fp, 50, 7)
+
+		env, err := fp.SnapshotEnvelope()
+		if err != nil {
+			t.Fatalf("%s: snapshot: %v", fam, err)
+		}
+		if env.Family != fam {
+			t.Fatalf("%s: envelope tagged %q", fam, env.Family)
+		}
+		data, err := env.Encode()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", fam, err)
+		}
+		decoded, err := DecodeEnvelope(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", fam, err)
+		}
+		restored, err := RestoreEnvelope(decoded)
+		if err != nil {
+			t.Fatalf("%s: restore: %v", fam, err)
+		}
+		if restored.Family() != fam || restored.Dim() != fp.Dim() {
+			t.Fatalf("%s: restored family %q dim %d", fam, restored.Family(), restored.Dim())
+		}
+		if restored.Counters() != fp.Counters() {
+			t.Fatalf("%s: counters %+v, want %+v", fam, restored.Counters(), fp.Counters())
+		}
+		// The restored poster and the original agree exactly on the next
+		// round — full state made it across the wire.
+		x := linalg.VectorOf(0.3, 0.4)
+		qa, err := fp.PostPrice(x, 0.01)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		qb, err := restored.PostPrice(x, 0.01)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if qa != qb {
+			t.Fatalf("%s: post-restore quotes diverged: %+v vs %+v", fam, qa, qb)
+		}
+	}
+}
+
+// TestEnvelopeValidate covers the envelope's structural error surface.
+func TestEnvelopeValidate(t *testing.T) {
+	lin, _ := New(2, 1)
+	snap, _ := lin.Snapshot()
+	sgdEnv, _ := mustSGD(t).SnapshotEnvelope()
+	cases := []struct {
+		name string
+		env  *Envelope
+	}{
+		{"nil", nil},
+		{"bad version", &Envelope{Version: 99, Family: FamilyLinear, Linear: snap}},
+		{"unknown family", &Envelope{Version: 1, Family: "quantum", Linear: snap}},
+		{"no payload", &Envelope{Version: 1, Family: FamilyLinear}},
+		{"wrong payload", &Envelope{Version: 1, Family: FamilyLinear, SGD: sgdEnv.SGD}},
+		{"two payloads", &Envelope{Version: 1, Family: FamilyLinear, Linear: snap, SGD: sgdEnv.SGD}},
+	}
+	for _, tc := range cases {
+		if err := tc.env.Validate(); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+		if _, err := RestoreEnvelope(tc.env); err == nil {
+			t.Fatalf("%s: RestoreEnvelope accepted invalid envelope", tc.name)
+		}
+	}
+}
+
+func mustSGD(t *testing.T) *SGDPoster {
+	t.Helper()
+	s, err := NewSGD(2, 0.5, 1.0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestDecodeEnvelopeLegacySnapshot upgrades a pre-family bare Snapshot to
+// a linear envelope.
+func TestDecodeEnvelopeLegacySnapshot(t *testing.T) {
+	m, _ := New(3, 2)
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := DecodeEnvelope(data)
+	if err != nil {
+		t.Fatalf("legacy snapshot not accepted: %v", err)
+	}
+	if env.Family != FamilyLinear || env.Linear == nil || env.Linear.N != 3 {
+		t.Fatalf("legacy upgrade produced %+v", env)
+	}
+	if _, err := DecodeEnvelope([]byte(`{"version":1}`)); err == nil {
+		t.Fatal("family-less garbage accepted")
+	}
+}
+
+// TestRestoreSGDEnvelopeValidation rejects corrupt sgd payloads.
+func TestRestoreSGDEnvelopeValidation(t *testing.T) {
+	base := func() *SGDSnapshot {
+		return &SGDSnapshot{N: 2, Theta: []float64{0.1, 0.2}, Eta0: 0.5, Margin: 1, Steps: 3}
+	}
+	mutations := []struct {
+		name string
+		mut  func(*SGDSnapshot)
+	}{
+		{"theta length", func(s *SGDSnapshot) { s.Theta = s.Theta[:1] }},
+		{"nan theta", func(s *SGDSnapshot) { s.Theta[0] = math.NaN() }},
+		{"zero eta0", func(s *SGDSnapshot) { s.Eta0 = 0 }},
+		{"inf eta0", func(s *SGDSnapshot) { s.Eta0 = math.Inf(1) }},
+		{"negative margin", func(s *SGDSnapshot) { s.Margin = -1 }},
+		{"negative steps", func(s *SGDSnapshot) { s.Steps = -1 }},
+	}
+	for _, tc := range mutations {
+		snap := base()
+		tc.mut(snap)
+		if _, err := RestoreEnvelope(&Envelope{Version: 1, Family: FamilySGD, SGD: snap}); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+	// SGD restore continues the step schedule, not restarts it.
+	fp, err := RestoreEnvelope(&Envelope{Version: 1, Family: FamilySGD, SGD: base()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgd := fp.(*SGDPoster)
+	if sgd.t != 3 {
+		t.Fatalf("restored step count %d, want 3", sgd.t)
+	}
+}
+
+// TestSyncPosterPendingShadowAllFamilies is the regression test for the
+// pending-shadow bug: SGDPoster and NonlinearMechanism had no Pending
+// method, so SyncPoster's lock-free shadow was always false and the
+// delete/restore guards were silently bypassed for non-ellipsoid posters.
+func TestSyncPosterPendingShadowAllFamilies(t *testing.T) {
+	for fam, spec := range familySpecs() {
+		fp, err := NewFamilyPoster(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		sp := NewSync(fp)
+		if sp.Pending() {
+			t.Fatalf("%s: fresh shadow pending", fam)
+		}
+		env, err := sp.SnapshotEnvelope()
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if _, err := sp.PostPrice(linalg.VectorOf(0.5, 0.5), 0.01); err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if !sp.Pending() {
+			t.Fatalf("%s: shadow not pending after PostPrice", fam)
+		}
+		// The mid-round restore guard must hold for every family.
+		if err := sp.RestoreEnvelopeSnapshot(env); !errors.Is(err, ErrPendingRound) {
+			t.Fatalf("%s: mid-round restore error = %v, want ErrPendingRound", fam, err)
+		}
+		if err := sp.Observe(false); err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if sp.Pending() {
+			t.Fatalf("%s: shadow pending after Observe", fam)
+		}
+	}
+}
+
+// TestSyncPosterCrossFamilyRestore rejects restoring one family's
+// envelope into a SyncPoster hosting another.
+func TestSyncPosterCrossFamilyRestore(t *testing.T) {
+	specs := familySpecs()
+	sgdPoster, err := NewFamilyPoster(specs[FamilySGD])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgdEnv, err := sgdPoster.SnapshotEnvelope()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []Family{FamilyLinear, FamilyNonlinear} {
+		fp, err := NewFamilyPoster(specs[fam])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := NewSync(fp)
+		err = sp.RestoreEnvelopeSnapshot(sgdEnv)
+		if !errors.Is(err, ErrFamilyMismatch) {
+			t.Fatalf("%s: cross-family restore error = %v, want ErrFamilyMismatch", fam, err)
+		}
+	}
+}
+
+// TestConfigOfModelRoundTrip reverse-maps every named model and rejects
+// custom components.
+func TestConfigOfModelRoundTrip(t *testing.T) {
+	lm, err := NewLandmarkMap(kernel.Polynomial{Degree: 2, Offset: 1}, []linalg.Vector{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []Model{LinearModel(), LogLinearModel(), LogLogModel(), LogisticModel(), KernelizedModel(lm)}
+	for _, m := range models {
+		cfg, err := ConfigOfModel(m)
+		if err != nil {
+			t.Fatalf("%s∘%s: %v", m.Link.Name(), m.Map.Name(), err)
+		}
+		rebuilt, err := BuildModel(cfg)
+		if err != nil {
+			t.Fatalf("%s∘%s: rebuild: %v", m.Link.Name(), m.Map.Name(), err)
+		}
+		if rebuilt.Link.Name() != m.Link.Name() || rebuilt.Map.Name() != m.Map.Name() {
+			t.Fatalf("round trip changed model: %s∘%s → %s∘%s",
+				m.Link.Name(), m.Map.Name(), rebuilt.Link.Name(), rebuilt.Map.Name())
+		}
+	}
+	// Custom (non-serializable) kernels are refused at snapshot time.
+	custom, _ := NewLandmarkMap(rbf{1}, []linalg.Vector{{0, 0}})
+	if _, err := ConfigOfModel(KernelizedModel(custom)); err == nil {
+		t.Fatal("custom kernel serialized")
+	}
+	nm, err := NewNonlinear(KernelizedModel(custom), 2, 1, WithThreshold(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nm.SnapshotEnvelope(); err == nil {
+		t.Fatal("snapshot of custom-kernel mechanism accepted")
+	}
+}

@@ -64,8 +64,10 @@ func (LogisticLink) Name() string { return "logistic" }
 // FeatureMap is the inner transformation φ of the generalized model. It is
 // public knowledge; only the weight vector over φ(x) is learned.
 type FeatureMap interface {
-	// Map evaluates φ(x).
-	Map(x linalg.Vector) linalg.Vector
+	// Map evaluates φ(x). It rejects inputs outside the map's domain
+	// (wrong dimension, non-finite or out-of-domain entries) so malformed
+	// features cannot poison the score-space knowledge set.
+	Map(x linalg.Vector) (linalg.Vector, error)
 	// OutDim returns the dimension of φ(x) for inputs of dimension inDim.
 	OutDim(inDim int) int
 	// Name identifies the map for reports.
@@ -76,7 +78,7 @@ type FeatureMap interface {
 type IdentityMap struct{}
 
 // Map returns x unchanged.
-func (IdentityMap) Map(x linalg.Vector) linalg.Vector { return x }
+func (IdentityMap) Map(x linalg.Vector) (linalg.Vector, error) { return x, nil }
 
 // OutDim returns inDim.
 func (IdentityMap) OutDim(inDim int) int { return inDim }
@@ -85,16 +87,19 @@ func (IdentityMap) OutDim(inDim int) int { return inDim }
 func (IdentityMap) Name() string { return "identity" }
 
 // LogMap applies the natural logarithm elementwise: the log-log hedonic
-// model log v = Σ log(xᵢ)·θᵢ*. Inputs must be strictly positive.
+// model log v = Σ log(xᵢ)·θᵢ*. Inputs must be strictly positive and finite.
 type LogMap struct{}
 
 // Map returns (log x₁, …, log xₙ).
-func (LogMap) Map(x linalg.Vector) linalg.Vector {
+func (LogMap) Map(x linalg.Vector) (linalg.Vector, error) {
 	out := make(linalg.Vector, len(x))
 	for i, v := range x {
+		if !isFinite(v) || v <= 0 {
+			return nil, fmt.Errorf("pricing: log map input %d is %g, want positive finite", i, v)
+		}
 		out[i] = math.Log(v)
 	}
-	return out
+	return out, nil
 }
 
 // OutDim returns inDim.
@@ -135,19 +140,38 @@ func NewLandmarkMap(k Kernel, landmarks []linalg.Vector) (*LandmarkMap, error) {
 		if len(l) != d {
 			return nil, fmt.Errorf("pricing: landmark %d has dimension %d, want %d", i, len(l), d)
 		}
+		for j, v := range l {
+			if !isFinite(v) {
+				return nil, fmt.Errorf("pricing: landmark %d entry %d is %g, want finite", i, j, v)
+			}
+		}
 		copied[i] = l.Clone()
 	}
 	return &LandmarkMap{kernel: k, landmarks: copied}, nil
 }
 
-// Map returns the kernel evaluations against every landmark.
-func (m *LandmarkMap) Map(x linalg.Vector) linalg.Vector {
+// Map returns the kernel evaluations against every landmark. Inputs must
+// match the landmark dimension and be finite — the same validation the
+// ellipsoid serving path performs — so a malformed query cannot feed NaN
+// scores into the knowledge set (or panic inside a kernel's dot product).
+func (m *LandmarkMap) Map(x linalg.Vector) (linalg.Vector, error) {
+	if len(x) != m.InDim() {
+		return nil, fmt.Errorf("pricing: landmark map input dimension %d, want %d", len(x), m.InDim())
+	}
+	for i, v := range x {
+		if !isFinite(v) {
+			return nil, fmt.Errorf("pricing: landmark map input %d is %g, want finite", i, v)
+		}
+	}
 	out := make(linalg.Vector, len(m.landmarks))
 	for i, l := range m.landmarks {
 		out[i] = m.kernel.Eval(x, l)
 	}
-	return out
+	return out, nil
 }
+
+// InDim returns the landmark (input) dimension.
+func (m *LandmarkMap) InDim() int { return len(m.landmarks[0]) }
 
 // OutDim returns the number of landmarks.
 func (m *LandmarkMap) OutDim(int) int { return len(m.landmarks) }
@@ -180,9 +204,13 @@ func LogisticModel() Model { return Model{Link: LogisticLink{}, Map: IdentityMap
 func KernelizedModel(m *LandmarkMap) Model { return Model{Link: IdentityLink{}, Map: m} }
 
 // Value computes the deterministic market value g(φ(x)ᵀθ) for weights θ
-// over the mapped features.
+// over the mapped features. Inputs outside the map's domain yield NaN.
 func (mo Model) Value(x linalg.Vector, theta linalg.Vector) float64 {
-	return mo.Link.Apply(mo.Map.Map(x).Dot(theta))
+	phi, err := mo.Map.Map(x)
+	if err != nil {
+		return math.NaN()
+	}
+	return mo.Link.Apply(phi.Dot(theta))
 }
 
 // NonlinearMechanism adapts the linear-model Mechanism to the generalized
@@ -191,6 +219,7 @@ func (mo Model) Value(x linalg.Vector, theta linalg.Vector) float64 {
 type NonlinearMechanism struct {
 	inner *Mechanism
 	model Model
+	dim   int // input feature dimension (before φ)
 }
 
 // NewNonlinear builds a mechanism for the given model. dim is the *input*
@@ -199,11 +228,14 @@ func NewNonlinear(model Model, dim int, radius float64, opts ...Option) (*Nonlin
 	if model.Link == nil || model.Map == nil {
 		return nil, fmt.Errorf("pricing: model must have both link and feature map")
 	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("pricing: dimension must be positive, got %d", dim)
+	}
 	inner, err := New(model.Map.OutDim(dim), radius, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &NonlinearMechanism{inner: inner, model: model}, nil
+	return &NonlinearMechanism{inner: inner, model: model, dim: dim}, nil
 }
 
 // Inner exposes the underlying linear mechanism (for counters and tests).
@@ -212,13 +244,27 @@ func (nm *NonlinearMechanism) Inner() *Mechanism { return nm.inner }
 // Model returns the market value model in use.
 func (nm *NonlinearMechanism) Model() Model { return nm.model }
 
+// Dim returns the input feature dimension (before the feature map).
+func (nm *NonlinearMechanism) Dim() int { return nm.dim }
+
+// Pending reports whether a posted price is awaiting Observe. Wrappers
+// such as SyncPoster rely on it for their lock-free pending shadow — and
+// through that, servers rely on it for the delete/restore guards.
+func (nm *NonlinearMechanism) Pending() bool { return nm.inner.Pending() }
+
 // PostPrice prices a query under the nonlinear model. Both the returned
 // price and the bounds are in value space; reserve is also in value space
 // and is mapped through g⁻¹ for the score-space comparison. A non-positive
 // reserve under a link with positive range (exp, logistic) is treated as
 // non-binding.
 func (nm *NonlinearMechanism) PostPrice(x linalg.Vector, reserve float64) (Quote, error) {
-	phi := nm.model.Map.Map(x)
+	if len(x) != nm.dim {
+		return Quote{}, fmt.Errorf("pricing: feature dimension %d, want %d", len(x), nm.dim)
+	}
+	phi, err := nm.model.Map.Map(x)
+	if err != nil {
+		return Quote{}, err
+	}
 	innerReserve := math.Inf(-1)
 	if nm.inner.cfg.useReserve {
 		innerReserve = nm.scoreReserve(reserve)

@@ -34,10 +34,13 @@ func TestLinks(t *testing.T) {
 
 func TestFeatureMaps(t *testing.T) {
 	x := linalg.VectorOf(1, math.E)
-	if got := (IdentityMap{}).Map(x); !got.Equal(x, 0) {
-		t.Fatal("identity map changed input")
+	if got, err := (IdentityMap{}).Map(x); err != nil || !got.Equal(x, 0) {
+		t.Fatalf("identity map changed input (err %v)", err)
 	}
-	lg := (LogMap{}).Map(x)
+	lg, err := (LogMap{}).Map(x)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(lg[0]) > 1e-12 || math.Abs(lg[1]-1) > 1e-12 {
 		t.Fatalf("log map = %v", lg)
 	}
@@ -62,7 +65,10 @@ func TestLandmarkMap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	phi := m.Map(linalg.VectorOf(0, 0))
+	phi, err := m.Map(linalg.VectorOf(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(phi[0]-1) > 1e-12 {
 		t.Fatalf("kernel self-similarity = %v", phi[0])
 	}
@@ -84,7 +90,11 @@ func TestLandmarkMap(t *testing.T) {
 	}
 	// Landmarks must be copied, not aliased.
 	lms[0][0] = 99
-	if m.Map(linalg.VectorOf(0, 0))[0] != phi[0] {
+	phi2, err := m.Map(linalg.VectorOf(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi2[0] != phi[0] {
 		t.Fatal("landmark aliased caller's slice")
 	}
 }
@@ -102,7 +112,11 @@ func TestModelConstructorsAndValue(t *testing.T) {
 	if v := LogisticModel().Value(x, theta); math.Abs(v-0.5) > 1e-12 {
 		t.Fatalf("logistic value = %v, want 0.5", v)
 	}
-	zz := (LogMap{}).Map(x).Dot(theta)
+	lgx, err := (LogMap{}).Map(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zz := lgx.Dot(theta)
 	if v := LogLogModel().Value(x, theta); math.Abs(v-math.Exp(zz)) > 1e-12 {
 		t.Fatalf("log-log value = %v", v)
 	}
@@ -276,5 +290,87 @@ func TestNonlinearQuoteInValueSpace(t *testing.T) {
 	}
 	if nm.Inner() == nil {
 		t.Fatal("Inner accessor nil")
+	}
+}
+
+// TestLandmarkMapInputValidation is the regression test for malformed
+// inputs: a wrong-dimension vector used to panic inside the kernel's dot
+// product, and a NaN entry fed NaN scores into the knowledge set.
+func TestLandmarkMapInputValidation(t *testing.T) {
+	m, err := NewLandmarkMap(rbf{1}, []linalg.Vector{linalg.VectorOf(0, 0), linalg.VectorOf(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		x    linalg.Vector
+	}{
+		{"short", linalg.VectorOf(1)},
+		{"long", linalg.VectorOf(1, 2, 3)},
+		{"nan", linalg.VectorOf(math.NaN(), 0)},
+		{"+inf", linalg.VectorOf(0, math.Inf(1))},
+		{"-inf", linalg.VectorOf(math.Inf(-1), 0)},
+	}
+	for _, tc := range cases {
+		if _, err := m.Map(tc.x); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+	if m.InDim() != 2 {
+		t.Fatalf("InDim = %d", m.InDim())
+	}
+	// Non-finite landmarks are rejected at construction.
+	if _, err := NewLandmarkMap(rbf{1}, []linalg.Vector{linalg.VectorOf(math.NaN(), 0)}); err == nil {
+		t.Fatal("NaN landmark accepted")
+	}
+	// The log map enforces its domain the same way.
+	for _, bad := range []linalg.Vector{
+		linalg.VectorOf(1, 0), linalg.VectorOf(-1, 1), linalg.VectorOf(math.NaN(), 1), linalg.VectorOf(math.Inf(1), 1),
+	} {
+		if _, err := (LogMap{}).Map(bad); err == nil {
+			t.Fatalf("log map accepted %v", bad)
+		}
+	}
+	if v := LogLogModel().Value(linalg.VectorOf(-1, 1), linalg.VectorOf(1, 1)); !math.IsNaN(v) {
+		t.Fatalf("out-of-domain Value = %v, want NaN", v)
+	}
+}
+
+// TestNonlinearMechanismInputValidation rejects malformed inputs before
+// they reach the score-space ellipsoid, and keeps the mechanism usable.
+func TestNonlinearMechanismInputValidation(t *testing.T) {
+	lm, err := NewLandmarkMap(rbf{1}, []linalg.Vector{linalg.VectorOf(0, 0), linalg.VectorOf(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := NewNonlinear(KernelizedModel(lm), 2, 1, WithThreshold(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []linalg.Vector{
+		linalg.VectorOf(1), linalg.VectorOf(1, 2, 3), linalg.VectorOf(math.NaN(), 0),
+	} {
+		if _, err := nm.PostPrice(bad, 0); err == nil {
+			t.Fatalf("accepted %v", bad)
+		}
+		if nm.Pending() {
+			t.Fatalf("rejected round left mechanism pending")
+		}
+	}
+	if nm.Dim() != 2 {
+		t.Fatalf("Dim = %d", nm.Dim())
+	}
+	q, err := nm.PostPrice(linalg.VectorOf(0.5, 0.5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Decision == DecisionSkip {
+		t.Fatal("unexpected skip")
+	}
+	if !nm.Pending() {
+		t.Fatal("not pending after valid round")
+	}
+	if err := nm.Observe(true); err != nil {
+		t.Fatal(err)
 	}
 }

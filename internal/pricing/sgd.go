@@ -54,11 +54,26 @@ func (s *SGDPoster) Theta() linalg.Vector { return s.theta.Clone() }
 // Counters returns the run statistics.
 func (s *SGDPoster) Counters() Counters { return s.counters }
 
+// Dim returns the feature dimension n.
+func (s *SGDPoster) Dim() int { return len(s.theta) }
+
+// Pending reports whether a posted price is awaiting Observe. Wrappers
+// such as SyncPoster rely on it for their lock-free pending shadow — and
+// through that, servers rely on it for the delete/restore guards.
+func (s *SGDPoster) Pending() bool { return s.pending }
+
 // PostPrice posts max(reserve, x·θ̂ − margin·t^{-1/3}): the value estimate
-// shaded down so that sales keep happening often enough to learn.
+// shaded down so that sales keep happening often enough to learn. A
+// non-finite feature entry is rejected — the same validation the ellipsoid
+// serving path performs — because it would corrupt θ̂ for every later round.
 func (s *SGDPoster) PostPrice(x linalg.Vector, reserve float64) (Quote, error) {
 	if len(x) != len(s.theta) {
 		return Quote{}, fmt.Errorf("pricing: SGD feature dimension %d, want %d", len(x), len(s.theta))
+	}
+	for i, v := range x {
+		if !isFinite(v) {
+			return Quote{}, fmt.Errorf("pricing: SGD feature %d is %g, want finite", i, v)
+		}
 	}
 	if s.pending {
 		return Quote{}, ErrPendingRound

@@ -260,3 +260,72 @@ func TestSyncPosterConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestSGDPostPriceInputValidation is the regression test for malformed
+// inputs: a NaN/Inf feature entry used to flow straight into the θ̂
+// update and poison every later round.
+func TestSGDPostPriceInputValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		x    []float64
+	}{
+		{"short", []float64{1}},
+		{"long", []float64{1, 2, 3}},
+		{"nan", []float64{math.NaN(), 0}},
+		{"+inf", []float64{0, math.Inf(1)}},
+		{"-inf", []float64{math.Inf(-1), 0}},
+	}
+	s, err := NewSGD(2, 0.5, 1.0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		if _, err := s.PostPrice(tc.x, 0.1); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+		if s.Pending() {
+			t.Fatalf("%s: rejected round left the poster pending", tc.name)
+		}
+	}
+	// A valid round still works after the rejections, and theta is clean.
+	q, err := s.PostPrice([]float64{1, 0}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Observe(true); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range s.Theta() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("theta[%d] = %v after rejected inputs", i, v)
+		}
+	}
+	_ = q
+}
+
+// TestSGDPending covers the two-phase introspection used by SyncPoster's
+// shadow and the serving guards.
+func TestSGDPending(t *testing.T) {
+	s, err := NewSGD(2, 0.5, 1.0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pending() {
+		t.Fatal("fresh poster pending")
+	}
+	if _, err := s.PostPrice([]float64{1, 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Pending() {
+		t.Fatal("not pending after PostPrice")
+	}
+	if _, err := s.SnapshotEnvelope(); err == nil {
+		t.Fatal("snapshot accepted mid-round")
+	}
+	if err := s.Observe(false); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pending() {
+		t.Fatal("pending after Observe")
+	}
+}

@@ -24,6 +24,13 @@ type Snapshotter interface {
 	Snapshot() (*Snapshot, error)
 }
 
+// EnvelopeSnapshotter is a Poster whose full state can be captured in a
+// family-tagged envelope. Every hosted family implements it; wrappers
+// such as SyncPoster forward to the wrapped poster when it does.
+type EnvelopeSnapshotter interface {
+	SnapshotEnvelope() (*Envelope, error)
+}
+
 // SyncPoster wraps any Poster with a mutex so a single pricing stream can
 // be driven from multiple goroutines (e.g. an HTTP handler per request).
 // The PostPrice/Observe protocol remains one-round-at-a-time; Quote is
@@ -136,29 +143,59 @@ func (s *SyncPoster) Snapshot() (*Snapshot, error) {
 	return sn.Snapshot()
 }
 
+// SnapshotEnvelope captures the wrapped poster's family-tagged state under
+// the lock. It fails if the wrapped poster does not support envelope
+// snapshots or has a round pending feedback.
+func (s *SyncPoster) SnapshotEnvelope() (*Envelope, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	es, ok := s.inner.(EnvelopeSnapshotter)
+	if !ok {
+		return nil, fmt.Errorf("pricing: wrapped poster %T does not support snapshots", s.inner)
+	}
+	return es.SnapshotEnvelope()
+}
+
 // RestoreSnapshot atomically replaces the wrapped poster with a Mechanism
-// rebuilt from the snapshot. Concurrent PriceRound callers serialize
+// rebuilt from the legacy ellipsoid snapshot. It is shorthand for
+// RestoreEnvelopeSnapshot with a linear envelope, so it carries the same
+// family and pending guards.
+func (s *SyncPoster) RestoreSnapshot(snap *Snapshot) error {
+	return s.RestoreEnvelopeSnapshot(&Envelope{Version: EnvelopeVersion, Family: FamilyLinear, Linear: snap})
+}
+
+// RestoreEnvelopeSnapshot atomically replaces the wrapped poster with one
+// rebuilt from the envelope. Concurrent PriceRound callers serialize
 // around the swap, so a live stream can be rolled back in place. It
 // refuses to swap while a two-phase round is pending feedback — the
-// buyer's decision would be silently discarded.
-func (s *SyncPoster) RestoreSnapshot(snap *Snapshot) error {
-	m, err := Restore(snap)
+// buyer's decision would be silently discarded — and refuses cross-family
+// restores, which would silently change the stream's model class.
+func (s *SyncPoster) RestoreEnvelopeSnapshot(env *Envelope) error {
+	fp, err := RestoreEnvelope(env)
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if p, ok := s.inner.(interface{ Pending() bool }); ok && p.Pending() {
+	cur, ok := s.inner.(FamilyPoster)
+	if !ok {
+		return fmt.Errorf("pricing: wrapped poster %T does not support snapshot restore", s.inner)
+	}
+	if cur.Family() != env.Family {
+		return fmt.Errorf("%w: snapshot is %q, stream hosts %q", ErrFamilyMismatch, env.Family, cur.Family())
+	}
+	if cur.Pending() {
 		return fmt.Errorf("pricing: cannot restore while a round is pending feedback: %w", ErrPendingRound)
 	}
-	s.inner = m
+	s.inner = fp
 	s.refreshPending()
 	return nil
 }
 
 var (
-	_ Poster      = (*SyncPoster)(nil)
-	_ RoundPoster = (*SyncPoster)(nil)
-	_ Snapshotter = (*SyncPoster)(nil)
-	_ Snapshotter = (*Mechanism)(nil)
+	_ Poster              = (*SyncPoster)(nil)
+	_ RoundPoster         = (*SyncPoster)(nil)
+	_ Snapshotter         = (*SyncPoster)(nil)
+	_ Snapshotter         = (*Mechanism)(nil)
+	_ EnvelopeSnapshotter = (*SyncPoster)(nil)
 )

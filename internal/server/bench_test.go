@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"datamarket/internal/pricing"
 	"datamarket/internal/randx"
 )
 
@@ -159,4 +160,64 @@ func BenchmarkServerHTTPPriceBatch(b *testing.B) {
 			b.ReportMetric(float64(b.N)*float64(batch)/b.Elapsed().Seconds(), "rounds/s")
 		})
 	}
+}
+
+// benchFamilyStream registers the requested stream in a fresh registry
+// and returns it.
+func benchFamilyStream(b *testing.B, req CreateStreamRequest) *Stream {
+	b.Helper()
+	reg := NewRegistry(0)
+	st, err := reg.Create(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// benchServeFamily measures registry-level serving throughput (full price
+// rounds through Stream.Price) for one family's stream.
+func benchServeFamily(b *testing.B, req CreateStreamRequest) {
+	st := benchFamilyStream(b, req)
+	r := randx.New(3)
+	x := r.OnSphere(req.Dim)
+	for i := range x {
+		if x[i] < 0 {
+			x[i] = -x[i]
+		}
+		x[i] += 0.1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := st.Price(x, 0.01, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeNonlinear serves a kernelized (landmark RBF, exp link)
+// stream — the heaviest hosted family: every round pays the kernel
+// evaluations on top of the score-space ellipsoid work.
+func BenchmarkServeNonlinear(b *testing.B) {
+	benchServeFamily(b, CreateStreamRequest{
+		ID: "nl", Family: "nonlinear", Dim: 5, Reserve: true, Threshold: 0.05,
+		Model: &pricing.ModelConfig{
+			Link:   "exp",
+			Map:    "landmark",
+			Kernel: &pricing.KernelConfig{Type: "rbf", Gamma: 0.5},
+			Landmarks: [][]float64{
+				{0.1, 0.2, 0.3, 0.2, 0.2}, {0.5, 0.1, 0.1, 0.2, 0.1},
+				{0.2, 0.4, 0.1, 0.1, 0.2}, {0.3, 0.3, 0.2, 0.1, 0.1},
+			},
+		},
+	})
+}
+
+// BenchmarkServeSGD serves the gradient-descent comparator — the lightest
+// family: one dot product and one AddScaled per round.
+func BenchmarkServeSGD(b *testing.B) {
+	benchServeFamily(b, CreateStreamRequest{
+		ID: "sgd", Family: "sgd", Dim: 5, Reserve: true,
+		Model: &pricing.ModelConfig{Eta0: 0.5, Margin: 1.0},
+	})
 }

@@ -67,7 +67,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, StreamInfo{ID: st.ID(), Dim: st.Dim()})
+	writeJSON(w, http.StatusCreated, streamInfo(st))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -83,7 +83,12 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, StreamInfo{ID: st.ID(), Dim: st.Dim()})
+	writeJSON(w, http.StatusOK, streamInfo(st))
+}
+
+// streamInfo renders a stream's wire description.
+func streamInfo(st *Stream) StreamInfo {
+	return StreamInfo{ID: st.ID(), Family: string(st.Family()), Dim: st.Dim()}
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -193,12 +198,12 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeStatusError(w, status, "reading body: "+err.Error())
 		return
 	}
-	snap, err := pricing.DecodeSnapshot(body)
+	env, err := pricing.DecodeEnvelope(body)
 	if err != nil {
 		writeStatusError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	st, created, err := s.reg.GetOrRestore(id, snap)
+	st, created, err := s.reg.GetOrRestore(id, env)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -207,7 +212,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	if created {
 		status = http.StatusCreated
 	}
-	writeJSON(w, status, StreamInfo{ID: st.ID(), Dim: st.Dim()})
+	writeJSON(w, status, streamInfo(st))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -296,6 +301,7 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, ErrStreamExists),
 		errors.Is(err, ErrStreamPending),
+		errors.Is(err, pricing.ErrFamilyMismatch),
 		errors.Is(err, pricing.ErrPendingRound),
 		errors.Is(err, pricing.ErrNoPendingRound):
 		status = http.StatusConflict

@@ -1,7 +1,10 @@
 // Package server hosts many independent pricing streams behind an
-// HTTP/JSON edge. Each stream owns one ellipsoid mechanism wrapped in a
-// pricing.SyncPoster; the streams live in a registry sharded by FNV hash
-// of the stream ID so hot streams do not contend on a single mutex.
+// HTTP/JSON edge. A stream is a family plus a model config — the linear
+// ellipsoid, the nonlinear g∘φ extensions (including landmark kernels),
+// or the SGD comparator — built through the pricing family factory and
+// wrapped in a pricing.SyncPoster; the streams live in a registry sharded
+// by FNV hash of the stream ID so hot streams do not contend on a single
+// mutex.
 package server
 
 import (
@@ -23,24 +26,31 @@ var (
 	ErrStreamPending  = errors.New("server: stream has a round pending feedback")
 )
 
-// Stream is one hosted pricing stream: a concurrency-safe mechanism plus
-// regret bookkeeping for the rounds whose valuations the server saw.
+// Stream is one hosted pricing stream: a concurrency-safe poster of some
+// family plus regret bookkeeping for the rounds whose valuations the
+// server saw.
 type Stream struct {
 	id     string
-	dim    int
+	family pricing.Family
+	dim    int // input feature dimension
 	poster *pricing.SyncPoster
 
 	trackMu sync.Mutex
 	tracker *pricing.Tracker
 }
 
-// MaxDim caps the feature dimension of a hosted stream. The ellipsoid
-// shape matrix is n×n, so an unbounded n would let one small create
-// request allocate arbitrary memory; 1024 keeps a stream under ~8 MB of
-// state and its snapshot comfortably inside maxBodyBytes.
+// MaxDim caps both the input feature dimension of a hosted stream and the
+// mapped (score-space) dimension — for a landmark stream, the number of
+// landmarks. The ellipsoid shape matrix is n×n over the mapped features,
+// so an unbounded n would let one small create request allocate arbitrary
+// memory; 1024 keeps a stream under ~8 MB of state and its snapshot
+// comfortably inside maxBodyBytes.
 const MaxDim = 1024
 
-// newStream builds a stream from a create request.
+// newStream builds a stream of the requested family from a create request.
+// Family-specific validation (model config, radius/threshold domains)
+// lives in the pricing factory; the server only enforces its own resource
+// caps.
 func newStream(req CreateStreamRequest) (*Stream, error) {
 	if req.ID == "" {
 		return nil, fmt.Errorf("server: stream id required")
@@ -48,61 +58,71 @@ func newStream(req CreateStreamRequest) (*Stream, error) {
 	if req.Dim < 1 || req.Dim > MaxDim {
 		return nil, fmt.Errorf("server: dimension %d invalid, want 1…%d", req.Dim, MaxDim)
 	}
-	radius := req.Radius
-	if radius == 0 {
-		radius = 2 * math.Sqrt(float64(req.Dim))
+	spec := pricing.FamilySpec{
+		Family:    pricing.Family(req.Family),
+		Dim:       req.Dim,
+		Radius:    req.Radius,
+		Reserve:   req.Reserve,
+		Delta:     req.Delta,
+		Threshold: req.Threshold,
+		Horizon:   req.Horizon,
 	}
-	if !isFinite(radius) || radius <= 0 {
-		return nil, fmt.Errorf("server: radius %g invalid", req.Radius)
+	if req.Model != nil {
+		spec.Model = *req.Model
+		if n := len(spec.Model.Landmarks); n > MaxDim {
+			return nil, fmt.Errorf("server: %d landmarks exceed limit %d", n, MaxDim)
+		}
 	}
-	if !isFinite(req.Delta) || req.Delta < 0 {
-		return nil, fmt.Errorf("server: delta %g invalid", req.Delta)
-	}
-	if !isFinite(req.Threshold) || req.Threshold < 0 {
-		return nil, fmt.Errorf("server: threshold %g invalid", req.Threshold)
-	}
-	if req.Horizon < 0 {
-		return nil, fmt.Errorf("server: horizon %d invalid, want ≥ 0", req.Horizon)
-	}
-	opts := []pricing.Option{pricing.WithUncertainty(req.Delta)}
-	if req.Reserve {
-		opts = append(opts, pricing.WithReserve())
-	}
-	switch {
-	case req.Threshold > 0:
-		opts = append(opts, pricing.WithThreshold(req.Threshold))
-	case req.Horizon > 0:
-		opts = append(opts, pricing.WithThreshold(
-			pricing.DefaultThreshold(req.Dim, req.Horizon, req.Delta)))
-	}
-	mech, err := pricing.New(req.Dim, radius, opts...)
+	poster, err := pricing.NewFamilyPoster(spec)
 	if err != nil {
 		return nil, err
 	}
 	return &Stream{
 		id:      req.ID,
+		family:  poster.Family(),
 		dim:     req.Dim,
-		poster:  pricing.NewSync(mech),
+		poster:  pricing.NewSync(poster),
 		tracker: pricing.NewTracker(false),
 	}, nil
 }
 
-// restoredStream rebuilds a stream around a snapshot.
-func restoredStream(id string, snap *pricing.Snapshot) (*Stream, error) {
+// checkEnvelopeCaps enforces the server's resource limits on a snapshot
+// envelope: both the input dimension and, for landmark streams, the
+// mapped (score-space) dimension are capped at MaxDim. Both the fresh-ID
+// and the in-place restore paths go through it.
+func checkEnvelopeCaps(env *pricing.Envelope) (int, error) {
+	dim, err := env.Dim()
+	if err != nil {
+		return 0, err
+	}
+	if dim > MaxDim {
+		return 0, fmt.Errorf("server: snapshot dimension %d exceeds limit %d", dim, MaxDim)
+	}
+	if env.Nonlinear != nil && len(env.Nonlinear.Model.Landmarks) > MaxDim {
+		return 0, fmt.Errorf("server: %d landmarks exceed limit %d", len(env.Nonlinear.Model.Landmarks), MaxDim)
+	}
+	return dim, nil
+}
+
+// restoredStream rebuilds a stream around a family-tagged snapshot
+// envelope.
+func restoredStream(id string, env *pricing.Envelope) (*Stream, error) {
 	if id == "" {
 		return nil, fmt.Errorf("server: stream id required")
 	}
-	if snap.N > MaxDim {
-		return nil, fmt.Errorf("server: snapshot dimension %d exceeds limit %d", snap.N, MaxDim)
+	dim, err := checkEnvelopeCaps(env)
+	if err != nil {
+		return nil, err
 	}
-	mech, err := pricing.Restore(snap)
+	poster, err := pricing.RestoreEnvelope(env)
 	if err != nil {
 		return nil, err
 	}
 	return &Stream{
 		id:      id,
-		dim:     snap.N,
-		poster:  pricing.NewSync(mech),
+		family:  poster.Family(),
+		dim:     dim,
+		poster:  pricing.NewSync(poster),
 		tracker: pricing.NewTracker(false),
 	}, nil
 }
@@ -110,7 +130,10 @@ func restoredStream(id string, snap *pricing.Snapshot) (*Stream, error) {
 // ID returns the stream's identifier.
 func (st *Stream) ID() string { return st.id }
 
-// Dim returns the stream's feature dimension.
+// Family returns the stream's pricing family.
+func (st *Stream) Family() pricing.Family { return st.family }
+
+// Dim returns the stream's input feature dimension.
 func (st *Stream) Dim() int { return st.dim }
 
 // Price runs one full round atomically against the buyer valuation: the
@@ -164,20 +187,31 @@ func (st *Stream) Observe(accepted bool) error {
 	return st.poster.Observe(accepted)
 }
 
-// Snapshot captures the stream's mechanism state.
-func (st *Stream) Snapshot() (*pricing.Snapshot, error) {
-	return st.poster.Snapshot()
+// Snapshot captures the stream's state in a family-tagged envelope.
+func (st *Stream) Snapshot() (*pricing.Envelope, error) {
+	return st.poster.SnapshotEnvelope()
 }
 
-// Restore replaces the stream's mechanism state in place.
-func (st *Stream) Restore(snap *pricing.Snapshot) error {
-	if snap.N != st.dim {
-		return fmt.Errorf("server: snapshot dimension %d, stream dimension %d", snap.N, st.dim)
+// Restore replaces the stream's poster state in place. Cross-family
+// snapshots are rejected — restoring an sgd envelope into a nonlinear
+// stream would silently change the model class callers rely on — and the
+// MaxDim caps apply just as on the fresh-ID restore path.
+func (st *Stream) Restore(env *pricing.Envelope) error {
+	dim, err := checkEnvelopeCaps(env)
+	if err != nil {
+		return err
 	}
-	return st.poster.RestoreSnapshot(snap)
+	if env.Family != st.family {
+		return fmt.Errorf("%w: snapshot is %q, stream %q hosts %q",
+			pricing.ErrFamilyMismatch, env.Family, st.id, st.family)
+	}
+	if dim != st.dim {
+		return fmt.Errorf("server: snapshot dimension %d, stream dimension %d", dim, st.dim)
+	}
+	return st.poster.RestoreEnvelopeSnapshot(env)
 }
 
-// Stats reports the mechanism counters and regret bookkeeping.
+// Stats reports the poster counters and regret bookkeeping.
 func (st *Stream) Stats() StatsResponse {
 	counters, _ := st.poster.Counters()
 	st.trackMu.Lock()
@@ -189,7 +223,7 @@ func (st *Stream) Stats() StatsResponse {
 		RegretRatio:       st.tracker.RegretRatio(),
 	}
 	st.trackMu.Unlock()
-	return StatsResponse{ID: st.id, Dim: st.dim, Counters: counters, Regret: reg}
+	return StatsResponse{ID: st.id, Family: string(st.family), Dim: st.dim, Counters: counters, Regret: reg}
 }
 
 // DefaultShards is the registry shard count used by NewRegistry(0). With
@@ -264,18 +298,18 @@ func (r *Registry) Get(id string) (*Stream, error) {
 	return st, nil
 }
 
-// GetOrRestore returns the existing stream after restoring the snapshot
-// into it, or registers a new stream rebuilt from the snapshot. The
+// GetOrRestore returns the existing stream after restoring the envelope
+// into it, or registers a new stream rebuilt from the envelope. The
 // shard lock is held across the in-place restore so a concurrent Delete
 // cannot orphan the stream between lookup and restore.
-func (r *Registry) GetOrRestore(id string, snap *pricing.Snapshot) (*Stream, bool, error) {
+func (r *Registry) GetOrRestore(id string, env *pricing.Envelope) (*Stream, bool, error) {
 	sh := r.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if st, ok := sh.streams[id]; ok {
-		return st, false, st.Restore(snap)
+		return st, false, st.Restore(env)
 	}
-	st, err := restoredStream(id, snap)
+	st, err := restoredStream(id, env)
 	if err != nil {
 		return nil, false, err
 	}
@@ -327,7 +361,7 @@ func (r *Registry) List() []StreamInfo {
 	for i := range r.shards {
 		r.shards[i].mu.RLock()
 		for _, st := range r.shards[i].streams {
-			out = append(out, StreamInfo{ID: st.id, Dim: st.dim})
+			out = append(out, streamInfo(st))
 		}
 		r.shards[i].mu.RUnlock()
 	}

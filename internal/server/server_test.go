@@ -154,20 +154,27 @@ func TestServerLifecycle(t *testing.T) {
 		t.Fatalf("total rounds %d, want %d", wantRounds, (rounds/workers)*workers)
 	}
 
-	// Snapshot segment-a, mutate it further, then roll it back.
-	var snap pricing.Snapshot
+	// Snapshot segment-a, mutate it further, then roll it back. The wire
+	// format is the family-tagged envelope; a linear stream carries its
+	// ellipsoid state under "linear".
+	var snap pricing.Envelope
 	c.mustDo("GET", "/v1/streams/segment-a/snapshot", nil, &snap, http.StatusOK)
+	if snap.Family != pricing.FamilyLinear || snap.Linear == nil {
+		t.Fatalf("snapshot envelope %+v not linear-tagged", snap)
+	}
 	runClients(t, c, []string{"segment-a"}, workers, 160, 200)
 	var after StatsResponse
 	c.mustDo("GET", "/v1/streams/segment-a/stats", nil, &after, http.StatusOK)
-	if after.Counters.Rounds == snap.Counters.Rounds {
+	if after.Counters.Rounds == snap.Linear.Counters.Rounds {
 		t.Fatal("phase 2 did not advance the stream")
 	}
 	c.mustDo("POST", "/v1/streams/segment-a/restore", snap, nil, http.StatusOK)
 	c.mustDo("GET", "/v1/streams/segment-a/stats", nil, &after, http.StatusOK)
-	if after.Counters != snap.Counters {
-		t.Fatalf("restore: counters %+v, want %+v", after.Counters, snap.Counters)
+	if after.Counters != snap.Linear.Counters {
+		t.Fatalf("restore: counters %+v, want %+v", after.Counters, snap.Linear.Counters)
 	}
+	// Legacy pre-family snapshots (a bare ellipsoid Snapshot) restore too.
+	c.mustDo("POST", "/v1/streams/segment-a/restore", snap.Linear, nil, http.StatusOK)
 
 	// Restoring into a fresh ID registers a new stream (crash recovery).
 	c.mustDo("POST", "/v1/streams/recovered/restore", snap, nil, http.StatusCreated)
@@ -222,7 +229,7 @@ func TestServerTwoPhase(t *testing.T) {
 	// Snapshots are refused mid-round, and so are restores — swapping
 	// state now would discard the buyer's in-flight decision.
 	c.mustDo("GET", "/v1/streams/s/snapshot", nil, nil, http.StatusBadRequest)
-	var fresh pricing.Snapshot
+	var fresh pricing.Envelope
 	c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: "donor", Dim: 2}, nil, http.StatusCreated)
 	c.mustDo("GET", "/v1/streams/donor/snapshot", nil, &fresh, http.StatusOK)
 	c.mustDo("POST", "/v1/streams/s/restore", fresh, nil, http.StatusConflict)
@@ -296,7 +303,7 @@ func TestServerValidation(t *testing.T) {
 
 	// Restoring a snapshot of a different dimension into a live stream
 	// fails and leaves the stream intact.
-	var snap pricing.Snapshot
+	var snap pricing.Envelope
 	c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: "d3", Dim: 3}, nil, http.StatusCreated)
 	c.mustDo("GET", "/v1/streams/d3/snapshot", nil, &snap, http.StatusOK)
 	c.mustDo("POST", "/v1/streams/s/restore", snap, nil, http.StatusBadRequest)

@@ -4,17 +4,22 @@ import (
 	"datamarket/internal/pricing"
 )
 
-// CreateStreamRequest configures a new pricing stream. One stream hosts
-// one mechanism — typically one per consumer segment or query family.
+// CreateStreamRequest configures a new pricing stream: a family plus a
+// model config, not a concrete mechanism. One stream hosts one poster —
+// typically one per consumer segment or query family.
 type CreateStreamRequest struct {
 	// ID names the stream. Required, and unique across the registry.
 	ID string `json:"id"`
-	// Dim is the feature dimension n. Required, ≥ 1.
+	// Family selects the pricing family: "linear" (default), "nonlinear",
+	// or "sgd".
+	Family string `json:"family,omitempty"`
+	// Dim is the input feature dimension n. Required, ≥ 1.
 	Dim int `json:"dim"`
-	// Radius bounds ‖θ*‖ for the initial knowledge ball. Defaults to
-	// 2√Dim, the normalization used throughout the paper's experiments.
+	// Radius bounds ‖θ*‖ for the initial knowledge ball (ellipsoid
+	// families). Defaults to 2√(mapped dim), the normalization used
+	// throughout the paper's experiments.
 	Radius float64 `json:"radius,omitempty"`
-	// Reserve enables the reserve price constraint (Algorithms 1 and 2).
+	// Reserve enables the reserve price constraint (all families).
 	Reserve bool `json:"reserve,omitempty"`
 	// Delta is the uncertainty buffer δ ≥ 0 (Algorithm 2).
 	Delta float64 `json:"delta,omitempty"`
@@ -24,12 +29,16 @@ type CreateStreamRequest struct {
 	Threshold float64 `json:"threshold,omitempty"`
 	// Horizon is the expected number of rounds T for the default ε.
 	Horizon int `json:"horizon,omitempty"`
+	// Model carries the family-specific model config: link/map/kernel/
+	// landmarks for "nonlinear", eta0/margin for "sgd".
+	Model *pricing.ModelConfig `json:"model,omitempty"`
 }
 
 // StreamInfo describes a hosted stream.
 type StreamInfo struct {
-	ID  string `json:"id"`
-	Dim int    `json:"dim"`
+	ID     string `json:"id"`
+	Family string `json:"family"`
+	Dim    int    `json:"dim"`
 }
 
 // ListStreamsResponse enumerates the hosted streams.
@@ -134,6 +143,7 @@ type RegretStats struct {
 // bookkeeping.
 type StatsResponse struct {
 	ID       string           `json:"id"`
+	Family   string           `json:"family"`
 	Dim      int              `json:"dim"`
 	Counters pricing.Counters `json:"counters"`
 	Regret   RegretStats      `json:"regret"`
