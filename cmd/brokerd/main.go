@@ -10,6 +10,14 @@
 //
 //	brokerd -addr :8080 -shards 32
 //
+// With -data-dir, streams survive restarts: every create/restore/delete
+// is journaled write-ahead, a background checkpointer persists streams
+// whose state changed, and boot replays the journal and checkpoint back
+// into the registry:
+//
+//	brokerd -addr :8080 -data-dir /var/lib/brokerd \
+//	        -checkpoint-interval 5s -fsync interval
+//
 // Quickstart:
 //
 //	curl -X POST localhost:8080/v1/streams \
@@ -19,6 +27,8 @@
 //	curl localhost:8080/v1/streams/segment-a/stats
 //	curl localhost:8080/v1/streams/segment-a/snapshot > segment-a.json
 //	curl -X POST localhost:8080/v1/streams/segment-a/restore -d @segment-a.json
+//	curl -X POST localhost:8080/v1/admin/checkpoint?compact=true
+//	curl localhost:8080/v1/admin/store
 //
 // Non-linear families ride the same endpoints; only create changes:
 //
@@ -47,26 +57,62 @@ import (
 	"time"
 
 	"datamarket/internal/server"
+	"datamarket/internal/store"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		shards = flag.Int("shards", server.DefaultShards, "registry shard count")
+		addr    = flag.String("addr", ":8080", "listen address")
+		shards  = flag.Int("shards", server.DefaultShards, "registry shard count")
+		dataDir = flag.String("data-dir", "", "journal directory for durable streams (empty: in-memory only)")
+		ckptIvl = flag.Duration("checkpoint-interval", server.DefaultCheckpointInterval, "background checkpointer period")
+		fsync   = flag.String("fsync", string(store.FsyncInterval), "journal fsync policy: always, interval, or never")
+		verbose = flag.Bool("verbose", false, "log every request (method, path, status, latency) and checkpoint activity")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *shards); err != nil {
+	if err := run(*addr, *shards, *dataDir, *ckptIvl, *fsync, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "brokerd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, shards int) error {
-	srv := server.NewServer(server.NewRegistry(shards))
+func run(addr string, shards int, dataDir string, ckptIvl time.Duration, fsync string, verbose bool) error {
+	reg := server.NewRegistry(shards)
+	srv := server.NewServer(reg)
+
+	var persister *server.Persister
+	if dataDir != "" {
+		policy, err := store.ParseFsyncPolicy(fsync)
+		if err != nil {
+			return err
+		}
+		st, err := store.OpenJournal(store.JournalConfig{Dir: dataDir, Fsync: policy})
+		if err != nil {
+			return err
+		}
+		cfg := server.PersistConfig{Interval: ckptIvl}
+		if verbose {
+			cfg.Logf = log.Printf
+		}
+		p, recovered, err := server.AttachPersistence(reg, st, cfg)
+		if err != nil {
+			st.Close()
+			return fmt.Errorf("recovering from %s: %w", dataDir, err)
+		}
+		persister = p
+		srv.SetPersister(p)
+		log.Printf("brokerd: recovered %d stream(s) from %s (fsync=%s, checkpoint every %s)",
+			recovered, dataDir, policy, ckptIvl)
+	}
+
+	handler := srv.Handler()
+	if verbose {
+		handler = server.WithRequestLog(handler, log.Printf)
+	}
 	httpSrv := &http.Server{
 		Addr:              addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
@@ -77,16 +123,31 @@ func run(addr string, shards int) error {
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
+	shutdown := func() error {
+		// The HTTP edge drains first so the final checkpoint sees no
+		// in-flight rounds, then the persister takes its final pass,
+		// compacts, and closes the store. Both error signals matter — a
+		// drain timeout must not mask an uncaptured-state report.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := httpSrv.Shutdown(ctx)
+		if persister != nil {
+			err = errors.Join(err, persister.Shutdown())
+		}
+		return err
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
+		if persister != nil {
+			err = errors.Join(err, persister.Shutdown())
+		}
 		return err
 	case sig := <-stop:
 		log.Printf("brokerd: %v, shutting down", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := httpSrv.Shutdown(ctx); err != nil {
+		if err := shutdown(); err != nil {
 			return err
 		}
 		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {

@@ -133,6 +133,13 @@ type MechanismSnapshot = pricing.Snapshot
 // Tracker accumulates regret series and Table I statistics.
 type Tracker = pricing.Tracker
 
+// TrackerState is a Tracker's serializable aggregate state; snapshot
+// envelopes carry it so a restore resumes regret bookkeeping.
+type TrackerState = pricing.TrackerState
+
+// RestoreTracker rebuilds an aggregates-only Tracker from its state.
+func RestoreTracker(s *TrackerState) (*Tracker, error) { return pricing.RestoreTracker(s) }
+
 // Counters aggregates per-round mechanism bookkeeping.
 type Counters = pricing.Counters
 

@@ -40,6 +40,9 @@ func (s *SyncPoster) PriceBatch(rounds []BatchRound, respond func(i int, q Quote
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.refreshPending()
+	// One revision bump covers the whole batch: the checkpointer only
+	// needs "changed since last persist", not a round count.
+	s.rev.Add(1)
 	for i := range rounds {
 		q, accepted, err := s.priceRoundLocked(rounds[i].X, rounds[i].Reserve, i, respond)
 		out[i] = BatchOutcome{Quote: q, Accepted: accepted, Err: err}

@@ -28,6 +28,15 @@ type Envelope struct {
 	Nonlinear *NonlinearSnapshot `json:"nonlinear,omitempty"`
 	// SGD is the gradient poster's point estimate and schedule position.
 	SGD *SGDSnapshot `json:"sgd,omitempty"`
+	// Regret optionally carries the hosting stream's regret-tracker
+	// aggregates. It is host-level bookkeeping, orthogonal to the family
+	// payload: posters never read or write it — the serving layer fills it
+	// on snapshot and rehydrates its tracker on restore. The field is
+	// additive and optional within envelope version 1, so envelopes
+	// written before it existed (and bare legacy snapshots) restore with a
+	// zeroed tracker; that reset is part of the restore contract and is
+	// asserted by TestRestoreWithoutRegretResetsTracker.
+	Regret *TrackerState `json:"regret,omitempty"`
 }
 
 // NonlinearSnapshot is the serializable state of a NonlinearMechanism: the
@@ -206,7 +215,7 @@ func (s *SGDPoster) Family() Family { return FamilySGD }
 // counters. It fails while a round is pending feedback.
 func (s *SGDPoster) SnapshotEnvelope() (*Envelope, error) {
 	if s.pending {
-		return nil, fmt.Errorf("pricing: cannot snapshot with a round pending feedback")
+		return nil, fmt.Errorf("pricing: cannot snapshot with a round pending feedback: %w", ErrPendingRound)
 	}
 	return &Envelope{
 		Version: EnvelopeVersion,

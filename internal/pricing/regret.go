@@ -1,6 +1,10 @@
 package pricing
 
-import "datamarket/internal/stats"
+import (
+	"fmt"
+
+	"datamarket/internal/stats"
+)
 
 // SingleRoundRegret evaluates the paper's regret function (Eq. 1) for one
 // round with known market value v, reserve price q, posted price p, and the
@@ -151,6 +155,70 @@ func (t *Tracker) RatioCurve() []float64 {
 		}
 	}
 	return out
+}
+
+// TrackerState is the serializable aggregate state of a Tracker: the
+// cumulative sums plus the four Welford accumulators behind Table().
+// Retained per-round records (keepRecords) are deliberately not carried —
+// they are unbounded, and every serving-stack tracker runs with
+// keepRecords off. RestoreTracker therefore always rebuilds an
+// aggregates-only tracker.
+type TrackerState struct {
+	CumRegret  float64 `json:"cum_regret"`
+	CumValue   float64 `json:"cum_value"`
+	CumRevenue float64 `json:"cum_revenue"`
+
+	Regret  stats.OnlineState `json:"regret"`
+	Value   stats.OnlineState `json:"value"`
+	Posted  stats.OnlineState `json:"posted"`
+	Reserve stats.OnlineState `json:"reserve"`
+}
+
+// State captures the tracker's aggregates for durable storage.
+func (t *Tracker) State() TrackerState {
+	return TrackerState{
+		CumRegret:  t.cumRegret,
+		CumValue:   t.cumValue,
+		CumRevenue: t.cumRevenue,
+		Regret:     t.regretStats.State(),
+		Value:      t.valueStats.State(),
+		Posted:     t.postedStats.State(),
+		Reserve:    t.reserveStats.State(),
+	}
+}
+
+// RestoreTracker rebuilds an aggregates-only tracker from a captured
+// state. The four accumulators must agree on the round count — a state
+// violating that was not produced by State.
+func RestoreTracker(s *TrackerState) (*Tracker, error) {
+	if s == nil {
+		return nil, fmt.Errorf("pricing: nil tracker state")
+	}
+	for _, v := range [...]float64{s.CumRegret, s.CumValue, s.CumRevenue} {
+		if !isFinite(v) {
+			return nil, fmt.Errorf("pricing: tracker state cumulative %g invalid, want finite", v)
+		}
+	}
+	t := NewTracker(false)
+	var err error
+	if t.regretStats, err = stats.NewOnlineFromState(s.Regret); err != nil {
+		return nil, fmt.Errorf("pricing: tracker regret stats: %w", err)
+	}
+	if t.valueStats, err = stats.NewOnlineFromState(s.Value); err != nil {
+		return nil, fmt.Errorf("pricing: tracker value stats: %w", err)
+	}
+	if t.postedStats, err = stats.NewOnlineFromState(s.Posted); err != nil {
+		return nil, fmt.Errorf("pricing: tracker posted stats: %w", err)
+	}
+	if t.reserveStats, err = stats.NewOnlineFromState(s.Reserve); err != nil {
+		return nil, fmt.Errorf("pricing: tracker reserve stats: %w", err)
+	}
+	n := t.regretStats.Count()
+	if t.valueStats.Count() != n || t.postedStats.Count() != n || t.reserveStats.Count() != n {
+		return nil, fmt.Errorf("pricing: tracker state accumulators disagree on round count")
+	}
+	t.cumRegret, t.cumValue, t.cumRevenue = s.CumRegret, s.CumValue, s.CumRevenue
+	return t, nil
 }
 
 // TableRow is one row of a Table I-style statistics table: per-round means

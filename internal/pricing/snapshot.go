@@ -37,7 +37,7 @@ const snapshotVersion = 1
 // feedback.
 func (m *Mechanism) Snapshot() (*Snapshot, error) {
 	if m.pending {
-		return nil, fmt.Errorf("pricing: cannot snapshot with a round pending feedback")
+		return nil, fmt.Errorf("pricing: cannot snapshot with a round pending feedback: %w", ErrPendingRound)
 	}
 	shape := m.ell.Shape()
 	flat := make([]float64, 0, m.n*m.n)

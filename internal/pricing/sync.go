@@ -46,6 +46,15 @@ type SyncPoster struct {
 	// the shadow is exact — and Pending can read it lock-free, never
 	// waiting behind an in-flight round or batch.
 	pending atomic.Bool
+
+	// rev counts state-mutating calls. It only ever increases, it is
+	// bumped before the lock is released, and reading it never takes the
+	// lock — so a checkpointer can compare it against the revision of its
+	// last persisted snapshot and skip streams that saw no traffic, at
+	// the cost of one atomic load per stream per pass. A call that fails
+	// without mutating state may still bump the revision; the only
+	// consequence is one redundant persist, never a missed one.
+	rev atomic.Uint64
 }
 
 // NewSync wraps a Poster for concurrent use.
@@ -61,11 +70,22 @@ func (s *SyncPoster) refreshPending() {
 	}
 }
 
+// Revision returns the monotonic mutation counter: it increases on every
+// state-mutating call (pricing rounds, observes, batches, restores) and
+// never otherwise. Reading it is one atomic load — cheap enough for a
+// checkpointer to poll across thousands of streams. A snapshot taken
+// after reading the revision reflects at least that revision, so
+// "persist if Revision() differs from the revision recorded at the last
+// persist" never loses a mutation (read the revision before
+// snapshotting, not after).
+func (s *SyncPoster) Revision() uint64 { return s.rev.Load() }
+
 // PostPrice locks and forwards.
 func (s *SyncPoster) PostPrice(x linalg.Vector, reserve float64) (Quote, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	q, err := s.inner.PostPrice(x, reserve)
+	s.rev.Add(1)
 	s.refreshPending()
 	return q, err
 }
@@ -75,6 +95,7 @@ func (s *SyncPoster) Observe(accepted bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	err := s.inner.Observe(accepted)
+	s.rev.Add(1)
 	s.refreshPending()
 	return err
 }
@@ -87,6 +108,7 @@ func (s *SyncPoster) PriceRound(x linalg.Vector, reserve float64,
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.refreshPending()
+	s.rev.Add(1)
 	return s.priceRoundLocked(x, reserve, 0, func(_ int, q Quote) bool { return respond(q) })
 }
 
@@ -188,6 +210,7 @@ func (s *SyncPoster) RestoreEnvelopeSnapshot(env *Envelope) error {
 		return fmt.Errorf("pricing: cannot restore while a round is pending feedback: %w", ErrPendingRound)
 	}
 	s.inner = fp
+	s.rev.Add(1)
 	s.refreshPending()
 	return nil
 }

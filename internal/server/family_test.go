@@ -144,7 +144,7 @@ func TestServerFamilyDeletePendingConflict(t *testing.T) {
 		}
 		// Mid-round: delete conflicts, snapshot and restore are refused.
 		c.mustDo("DELETE", "/v1/streams/"+id, nil, nil, http.StatusConflict)
-		c.mustDo("GET", "/v1/streams/"+id+"/snapshot", nil, nil, http.StatusBadRequest)
+		c.mustDo("GET", "/v1/streams/"+id+"/snapshot", nil, nil, http.StatusConflict)
 		c.mustDo("POST", "/v1/streams/"+id+"/observe", ObserveRequest{Accepted: true}, nil, http.StatusOK)
 		// Round closed: delete (forced path not needed) succeeds.
 		c.mustDo("DELETE", "/v1/streams/"+id, nil, nil, http.StatusNoContent)

@@ -19,7 +19,8 @@ const maxBodyBytes = 32 << 20
 
 // Server is the brokerd HTTP edge over a stream registry.
 type Server struct {
-	reg *Registry
+	reg       *Registry
+	persister *Persister
 }
 
 // NewServer wraps a registry (nil builds a fresh default registry).
@@ -33,6 +34,11 @@ func NewServer(reg *Registry) *Server {
 // Registry exposes the underlying registry (for embedding brokerd in
 // tests and larger binaries).
 func (s *Server) Registry() *Registry { return s.reg }
+
+// SetPersister attaches the persistence subsystem so the admin endpoints
+// can drive it. Without one, POST /v1/admin/checkpoint answers 503 and
+// GET /v1/admin/store reports configured: false.
+func (s *Server) SetPersister(p *Persister) { s.persister = p }
 
 // Handler builds the route table.
 func (s *Server) Handler() http.Handler {
@@ -50,7 +56,37 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/streams/{id}/snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /v1/streams/{id}/restore", s.handleRestore)
 	mux.HandleFunc("GET /v1/streams/{id}/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/admin/checkpoint", s.handleAdminCheckpoint)
+	mux.HandleFunc("GET /v1/admin/store", s.handleAdminStore)
 	return mux
+}
+
+// handleAdminCheckpoint runs a synchronous checkpoint pass; ?compact=true
+// additionally folds the journal tail into a fresh checkpoint file.
+func (s *Server) handleAdminCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.persister == nil {
+		writeStatusError(w, http.StatusServiceUnavailable,
+			"persistence not configured (start brokerd with -data-dir)")
+		return
+	}
+	resp := CheckpointResponse{CheckpointStats: s.persister.Checkpoint()}
+	if r.URL.Query().Get("compact") == "true" {
+		if err := s.persister.Compact(); err != nil {
+			writeStatusError(w, http.StatusInternalServerError, "compacting store: "+err.Error())
+			return
+		}
+		resp.Compacted = true
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAdminStore reports the persistence subsystem's observable state.
+func (s *Server) handleAdminStore(w http.ResponseWriter, _ *http.Request) {
+	if s.persister == nil {
+		writeJSON(w, http.StatusOK, StoreStatusResponse{Configured: false})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.persister.Status())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -297,6 +333,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
+	case errors.Is(err, ErrPersist):
+		// The request was valid; the journal append failed. 5xx so
+		// clients know to retry rather than treat it as malformed.
+		status = http.StatusInternalServerError
 	case errors.Is(err, ErrStreamNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrStreamExists),

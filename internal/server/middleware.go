@@ -1,0 +1,42 @@
+package server
+
+import (
+	"net/http"
+	"time"
+)
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// WithRequestLog wraps a handler with one log line per request — method,
+// path, status, latency — so recovery and checkpoint activity (and
+// everything else) is observable in ops. brokerd enables it under
+// -verbose; logf is log.Printf-shaped.
+func WithRequestLog(h http.Handler, logf func(format string, args ...any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(rec, r)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		logf("%s %s %d %.2fms", r.Method, r.URL.Path, status,
+			float64(time.Since(start))/float64(time.Millisecond))
+	})
+}

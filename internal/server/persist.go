@@ -1,0 +1,398 @@
+package server
+
+// This file wires the registry's stream lifecycle to the persistence
+// subsystem (internal/store). The paper's mechanism is stateful online
+// learning — the regret guarantee depends on the cuts accumulated over
+// the whole horizon — so brokerd must not forget a stream's state on
+// restart. The Persister journals every lifecycle event write-ahead of
+// the in-memory commit, runs a background checkpointer that re-persists
+// only streams whose poster revision moved since their last persist, and
+// replays the store back through Registry.GetOrRestore at boot.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"datamarket/internal/pricing"
+	"datamarket/internal/store"
+)
+
+// DefaultCheckpointInterval is the background checkpointer period used
+// when PersistConfig.Interval is zero.
+const DefaultCheckpointInterval = 5 * time.Second
+
+// PersistConfig configures a Persister.
+type PersistConfig struct {
+	// Interval is the background checkpoint period; 0 picks
+	// DefaultCheckpointInterval, negative disables the background loop
+	// (explicit Checkpoint calls still work).
+	Interval time.Duration
+	// Logf, when set, receives recovery and checkpoint activity lines
+	// (brokerd routes log.Printf here under -verbose).
+	Logf func(format string, args ...any)
+}
+
+// CheckpointStats reports one checkpoint pass.
+type CheckpointStats struct {
+	// Streams is the number of live streams examined.
+	Streams int `json:"streams"`
+	// Persisted counts streams whose state was written this pass.
+	Persisted int `json:"persisted"`
+	// SkippedClean counts streams skipped because their revision had not
+	// moved since their last persist — the cheap path that lets a
+	// thousand-stream registry checkpoint in microseconds when idle.
+	SkippedClean int `json:"skipped_clean"`
+	// SkippedPending counts streams skipped because a two-phase round
+	// was awaiting feedback (snapshots are between-rounds only); they
+	// are retried on the next pass.
+	SkippedPending int `json:"skipped_pending"`
+	// Errors counts streams whose persist failed this pass.
+	Errors int `json:"errors"`
+	// DurationMS is the wall-clock time of the pass.
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// Persister connects a Registry to a Store: it is the registry's
+// LifecycleObserver, the background checkpointer, and the boot-time
+// recovery driver. Wire it with AttachPersistence, or manually as
+//
+//	p := NewPersister(reg, st, cfg)
+//	n, err := p.Recover()       // replay the store into the registry
+//	reg.SetObserver(p)          // then journal new lifecycle events
+//	p.Start()                   // then checkpoint in the background
+//	...
+//	p.Shutdown()                // final checkpoint + compact + close
+type Persister struct {
+	reg      *Registry
+	st       store.Store
+	interval time.Duration
+	logf     func(string, ...any)
+
+	// passMu serializes checkpoint passes (timer vs admin endpoint vs
+	// shutdown); revMu guards the revision table and last-pass stats and
+	// is only held for map operations.
+	passMu    sync.Mutex
+	revMu     sync.Mutex
+	lastRev   map[string]uint64
+	lastPass  *CheckpointStats
+	recovered int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewPersister builds a Persister over an open store. It performs no I/O
+// until Recover or the first checkpoint.
+func NewPersister(reg *Registry, st store.Store, cfg PersistConfig) *Persister {
+	interval := cfg.Interval
+	if interval == 0 {
+		interval = DefaultCheckpointInterval
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Persister{
+		reg:      reg,
+		st:       st,
+		interval: interval,
+		logf:     logf,
+		lastRev:  make(map[string]uint64),
+	}
+}
+
+// AttachPersistence performs the full wiring: recover the store into the
+// registry, install the lifecycle observer, and start the background
+// checkpointer. It returns the Persister and the number of recovered
+// streams.
+func AttachPersistence(reg *Registry, st store.Store, cfg PersistConfig) (*Persister, int, error) {
+	p := NewPersister(reg, st, cfg)
+	n, err := p.Recover()
+	if err != nil {
+		return nil, 0, err
+	}
+	reg.SetObserver(p)
+	p.Start()
+	return p, n, nil
+}
+
+// Recover replays the store's live set into the registry through
+// GetOrRestore. Call it before SetObserver — replayed streams must not
+// be re-journaled as fresh lifecycle events. A stream that fails to
+// restore fails recovery loudly: silently dropping it would be exactly
+// the state loss the subsystem exists to prevent.
+func (p *Persister) Recover() (int, error) {
+	entries, err := p.st.Load()
+	if err != nil {
+		return 0, fmt.Errorf("server: loading store: %w", err)
+	}
+	for _, e := range entries {
+		st, _, err := p.reg.GetOrRestore(e.ID, e.Env)
+		if err != nil {
+			return 0, fmt.Errorf("server: recovering stream %q: %w", e.ID, err)
+		}
+		p.revMu.Lock()
+		p.lastRev[e.ID] = st.Revision()
+		p.revMu.Unlock()
+	}
+	p.recovered = len(entries)
+	if len(entries) > 0 {
+		p.logf("recovered %d stream(s) from store", len(entries))
+	}
+	return len(entries), nil
+}
+
+// Start launches the background checkpoint loop (a no-op for a negative
+// interval).
+func (p *Persister) Start() {
+	if p.interval < 0 || p.stop != nil {
+		return
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go p.loop()
+}
+
+func (p *Persister) loop() {
+	defer close(p.done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			stats := p.Checkpoint()
+			if stats.Persisted > 0 || stats.Errors > 0 {
+				p.logf("checkpoint: %d/%d stream(s) persisted, %d clean, %d pending, %d error(s) in %.1fms",
+					stats.Persisted, stats.Streams, stats.SkippedClean, stats.SkippedPending,
+					stats.Errors, stats.DurationMS)
+			}
+		}
+	}
+}
+
+// Checkpoint runs one pass over the live streams, persisting those whose
+// revision moved since their last persist. Passes are serialized; the
+// pass holds no registry-wide lock, only each dirty stream's shard read
+// lock while that stream is snapshotted and journaled. Concurrent reads
+// (pricing lookups) share that lock — but if a lifecycle write queues on
+// the shard mid-journal, Go's RWMutex holds back new readers too, so
+// pricing on ~1/shards of streams can stall behind one dirty stream's
+// journal write (worst case an fsync, under -fsync always). That is the
+// price of making persist atomic against delete; clean streams take no
+// lock at all, which is what keeps idle passes microseconds.
+func (p *Persister) Checkpoint() CheckpointStats {
+	p.passMu.Lock()
+	defer p.passMu.Unlock()
+	start := time.Now()
+	streams := p.reg.Streams()
+	stats := CheckpointStats{Streams: len(streams)}
+	for _, st := range streams {
+		switch err := p.checkpointStream(st); {
+		case err == nil:
+			stats.Persisted++
+		case errors.Is(err, errCheckpointClean):
+			stats.SkippedClean++
+		case errors.Is(err, errCheckpointPending):
+			// Between-rounds snapshots only; retried next pass.
+			stats.SkippedPending++
+		case errors.Is(err, ErrStreamNotFound):
+			// Deleted mid-pass: its tombstone is already journaled.
+		default:
+			stats.Errors++
+			p.logf("checkpoint: stream %q: %v", st.ID(), err)
+		}
+	}
+	stats.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+	p.revMu.Lock()
+	s := stats
+	p.lastPass = &s
+	ids := make([]string, 0, len(p.lastRev))
+	for id := range p.lastRev {
+		ids = append(ids, id)
+	}
+	p.revMu.Unlock()
+	// Prune revision entries for streams that no longer exist:
+	// checkpointStream records a revision after leaving the shard lock,
+	// so it can race a concurrent delete's removal and strand an entry.
+	// The store itself is correct either way (the tombstone is
+	// journaled); this just keeps the map from leaking on delete-heavy
+	// workloads. Membership is checked outside revMu — observer
+	// callbacks take shard-then-revMu, so revMu-then-shard here would
+	// deadlock. Racing a concurrent re-create can at worst drop a live
+	// entry, costing one redundant persist next pass.
+	for _, id := range ids {
+		if _, err := p.reg.Get(id); err != nil {
+			p.revMu.Lock()
+			delete(p.lastRev, id)
+			p.revMu.Unlock()
+		}
+	}
+	// Auto-compaction rides the pass boundary, never an individual
+	// journal append — here no registry lock is held, so rewriting the
+	// whole live set stalls nothing but the next pass.
+	switch compacted, err := p.st.MaybeCompact(); {
+	case err != nil:
+		p.logf("checkpoint: compacting store: %v", err)
+	case compacted:
+		p.logf("checkpoint: journal compacted")
+	}
+	return stats
+}
+
+// Sentinel outcomes of checkpointStream.
+var (
+	errCheckpointClean   = errors.New("checkpoint: unchanged")
+	errCheckpointPending = errors.New("checkpoint: round pending")
+)
+
+// checkpointStream persists one stream if its revision moved. The
+// revision is read before the snapshot: a round landing in between makes
+// the snapshot newer than the recorded revision, which costs one
+// redundant persist next pass — never a lost one. Running inside
+// Registry.Visit orders the persist strictly against any concurrent
+// delete of the same stream, and the pointer-identity check guards the
+// delete-then-recreate race: Visit resolves the ID fresh, and recording
+// the old stream's revision against a new stream's ID would silently
+// gate the new stream's checkpoints off forever.
+func (p *Persister) checkpointStream(st *Stream) error {
+	id := st.ID()
+	rev := st.Revision()
+	p.revMu.Lock()
+	last, seen := p.lastRev[id]
+	p.revMu.Unlock()
+	if seen && last == rev {
+		return errCheckpointClean
+	}
+	err := p.reg.Visit(id, func(cur *Stream) error {
+		if cur != st {
+			// The ID now names a different stream (deleted and
+			// recreated mid-pass). Its create event already persisted
+			// it; nothing to do for the dead one.
+			return errCheckpointClean
+		}
+		if st.Pending() {
+			return errCheckpointPending
+		}
+		env, err := st.Snapshot()
+		if err != nil {
+			// A quote can open a round between the Pending probe and the
+			// snapshot (quotes take no shard lock); that is the same
+			// benign retry-next-pass condition, not a persist failure.
+			if errors.Is(err, pricing.ErrPendingRound) {
+				return errCheckpointPending
+			}
+			return err
+		}
+		if err := p.st.Put(store.Entry{ID: id, Rev: rev, Env: env}); err != nil {
+			return err
+		}
+		// Record the revision while the shard lock still pins identity:
+		// written after Visit returns, it could overwrite the lastRev of
+		// a stream deleted and recreated under this ID in the gap.
+		// (Lock order shard → revMu, same as the observer callbacks.)
+		p.revMu.Lock()
+		p.lastRev[id] = rev
+		p.revMu.Unlock()
+		return nil
+	})
+	return err
+}
+
+// StreamCreated journals the new stream's initial state (write-ahead:
+// the stream is not yet visible, so its poster cannot be mid-round).
+func (p *Persister) StreamCreated(st *Stream) error { return p.persistStream(st) }
+
+// StreamRestored journals the restored state.
+func (p *Persister) StreamRestored(st *Stream) error { return p.persistStream(st) }
+
+func (p *Persister) persistStream(st *Stream) error {
+	rev := st.Revision()
+	env, err := st.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := p.st.Put(store.Entry{ID: st.ID(), Rev: rev, Env: env}); err != nil {
+		return err
+	}
+	p.revMu.Lock()
+	p.lastRev[st.ID()] = rev
+	p.revMu.Unlock()
+	return nil
+}
+
+// StreamDeleted journals the tombstone (write-ahead: the stream is
+// removed from the registry only if the tombstone lands).
+func (p *Persister) StreamDeleted(id string) error {
+	if err := p.st.Delete(id); err != nil {
+		return err
+	}
+	p.revMu.Lock()
+	delete(p.lastRev, id)
+	p.revMu.Unlock()
+	return nil
+}
+
+// Status reports the persistence surface for GET /v1/admin/store.
+func (p *Persister) Status() StoreStatusResponse {
+	p.revMu.Lock()
+	last := p.lastPass
+	p.revMu.Unlock()
+	st := p.st.Stats()
+	resp := StoreStatusResponse{
+		Configured:       true,
+		RecoveredStreams: p.recovered,
+		Store:            &st,
+		LastCheckpoint:   last,
+	}
+	if p.interval > 0 {
+		resp.CheckpointInterval = p.interval.String()
+	}
+	return resp
+}
+
+// Compact folds the store's journal tail into a fresh checkpoint file.
+func (p *Persister) Compact() error { return p.st.Compact() }
+
+// Stop halts the background loop without a final pass (tests; Shutdown
+// is the production path). Safe to call twice.
+func (p *Persister) Stop() {
+	if p.stop == nil {
+		return
+	}
+	close(p.stop)
+	<-p.done
+	p.stop = nil
+}
+
+// Shutdown is the graceful exit: stop the loop, run a final checkpoint
+// pass so every changed stream is durable, compact, and close the store.
+// A stream still holding an unanswered two-phase quote cannot be
+// snapshotted — its rounds since its last persist are not captured —
+// so Shutdown reports such streams as an error rather than pretending
+// the exit was loss-free.
+func (p *Persister) Shutdown() error {
+	p.Stop()
+	stats := p.Checkpoint()
+	p.logf("final checkpoint: %d/%d stream(s) persisted, %d pending, %d error(s)",
+		stats.Persisted, stats.Streams, stats.SkippedPending, stats.Errors)
+	var err error
+	if stats.Errors > 0 {
+		err = fmt.Errorf("server: final checkpoint failed for %d stream(s)", stats.Errors)
+	} else if stats.SkippedPending > 0 {
+		err = fmt.Errorf("server: final checkpoint could not capture %d stream(s) with a round pending feedback",
+			stats.SkippedPending)
+	}
+	if cerr := p.st.Compact(); cerr != nil && err == nil {
+		err = fmt.Errorf("server: final compaction: %w", cerr)
+	}
+	if cerr := p.st.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+var _ LifecycleObserver = (*Persister)(nil)

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"datamarket/internal/linalg"
+	"datamarket/internal/store"
+)
+
+// benchPersistentRegistry stands up n persistent linear streams of the given
+// dimension over a journal store (fsync never: the benchmark measures
+// the checkpoint machinery, not the disk).
+func benchPersistentRegistry(b *testing.B, n, dim int) (*Registry, *Persister) {
+	b.Helper()
+	st, err := store.OpenJournal(store.JournalConfig{Dir: b.TempDir(), Fsync: store.FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := NewRegistry(0)
+	p, _, err := AttachPersistence(reg, st, PersistConfig{Interval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := reg.Create(CreateStreamRequest{ID: fmt.Sprintf("s%05d", i), Dim: dim, Horizon: 100000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Cleanup(func() {
+		if err := p.Shutdown(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return reg, p
+}
+
+func benchVec(dim int, rng *rand.Rand) linalg.Vector {
+	x := make(linalg.Vector, dim)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	return x
+}
+
+// BenchmarkCheckpoint1000Dirty100 is the checkpoint-throughput
+// benchmark: a 1000-stream registry where 100 streams changed since the
+// last pass — each op snapshots and journals exactly those 100 and
+// revision-skips the other 900.
+func BenchmarkCheckpoint1000Dirty100(b *testing.B) {
+	const n, dirty, dim = 1000, 100, 8
+	reg, p := benchPersistentRegistry(b, n, dim)
+	rng := rand.New(rand.NewSource(1))
+	x := benchVec(dim, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for k := 0; k < dirty; k++ {
+			st, _ := reg.Get(fmt.Sprintf("s%05d", (i*dirty+k*7)%n))
+			if _, _, err := st.Price(x, 0.1, 1.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		stats := p.Checkpoint()
+		if stats.Persisted != dirty {
+			b.Fatalf("pass persisted %d streams, want %d", stats.Persisted, dirty)
+		}
+	}
+}
+
+// BenchmarkCheckpoint1000Clean measures the revision-gated fast path: a
+// pass over 1000 unchanged streams is pure atomic loads and map lookups.
+func BenchmarkCheckpoint1000Clean(b *testing.B) {
+	const n = 1000
+	_, p := benchPersistentRegistry(b, n, 8)
+	p.Checkpoint() // absorb any first-pass stragglers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats := p.Checkpoint()
+		if stats.SkippedClean != n {
+			b.Fatalf("pass skipped %d streams, want %d", stats.SkippedClean, n)
+		}
+	}
+}
+
+// BenchmarkPricingDuringCheckpoint measures foreground pricing
+// throughput (one op = one full round) while checkpoint passes run
+// continuously in the background — the acceptance bar is ≥ 10k rounds/s.
+func BenchmarkPricingDuringCheckpoint(b *testing.B) {
+	const n, dim = 256, 8
+	reg, p := benchPersistentRegistry(b, n, dim)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p.Checkpoint()
+			}
+		}
+	}()
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		x := benchVec(dim, rng)
+		for pb.Next() {
+			st, err := reg.Get(fmt.Sprintf("s%05d", rng.Intn(n)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := st.Price(x, 0.1, rng.Float64()*2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+}

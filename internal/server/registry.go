@@ -14,6 +14,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"datamarket/internal/linalg"
 	"datamarket/internal/pricing"
@@ -24,11 +25,23 @@ var (
 	ErrStreamExists   = errors.New("server: stream already exists")
 	ErrStreamNotFound = errors.New("server: stream not found")
 	ErrStreamPending  = errors.New("server: stream has a round pending feedback")
+	// ErrPersist wraps lifecycle-observer (persistence) failures. The
+	// request was valid; the server could not make the event durable —
+	// a 5xx to clients, not a 4xx.
+	ErrPersist = errors.New("server: persistence failed")
 )
 
 // Stream is one hosted pricing stream: a concurrency-safe poster of some
 // family plus regret bookkeeping for the rounds whose valuations the
 // server saw.
+//
+// trackMu is the stream's round lock: Price and PriceBatch hold it across
+// the poster round *and* the tracker update, and Snapshot holds it while
+// capturing the poster state, so a snapshot always pairs a poster state
+// with exactly the regret aggregates of the rounds that state reflects.
+// (Lock order is trackMu → poster; nothing holds the poster lock while
+// waiting on trackMu.) Two-phase quote/observe rounds bypass the tracker
+// and therefore the round lock.
 type Stream struct {
 	id     string
 	family pricing.Family
@@ -104,6 +117,18 @@ func checkEnvelopeCaps(env *pricing.Envelope) (int, error) {
 	return dim, nil
 }
 
+// restoredTracker rebuilds the regret tracker carried by an envelope. An
+// envelope without tracker state (legacy snapshots, hand-written
+// envelopes) yields a zeroed tracker: regret bookkeeping restarts at the
+// restore point. That reset is part of the restore contract — see the
+// Envelope.Regret docs.
+func restoredTracker(env *pricing.Envelope) (*pricing.Tracker, error) {
+	if env.Regret == nil {
+		return pricing.NewTracker(false), nil
+	}
+	return pricing.RestoreTracker(env.Regret)
+}
+
 // restoredStream rebuilds a stream around a family-tagged snapshot
 // envelope.
 func restoredStream(id string, env *pricing.Envelope) (*Stream, error) {
@@ -111,6 +136,10 @@ func restoredStream(id string, env *pricing.Envelope) (*Stream, error) {
 		return nil, fmt.Errorf("server: stream id required")
 	}
 	dim, err := checkEnvelopeCaps(env)
+	if err != nil {
+		return nil, err
+	}
+	tracker, err := restoredTracker(env)
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +152,7 @@ func restoredStream(id string, env *pricing.Envelope) (*Stream, error) {
 		family:  poster.Family(),
 		dim:     dim,
 		poster:  pricing.NewSync(poster),
-		tracker: pricing.NewTracker(false),
+		tracker: tracker,
 	}, nil
 }
 
@@ -140,15 +169,15 @@ func (st *Stream) Dim() int { return st.dim }
 // offer is accepted iff price ≤ valuation. The round is recorded in the
 // stream's regret tracker.
 func (st *Stream) Price(features linalg.Vector, reserve, valuation float64) (pricing.Quote, bool, error) {
+	st.trackMu.Lock()
+	defer st.trackMu.Unlock()
 	q, accepted, err := st.poster.PriceRound(features, reserve, func(q pricing.Quote) bool {
 		return pricing.Sold(q.Price, valuation)
 	})
 	if err != nil {
 		return q, accepted, err
 	}
-	st.trackMu.Lock()
 	st.tracker.Record(valuation, reserve, q)
-	st.trackMu.Unlock()
 	return q, accepted, nil
 }
 
@@ -158,16 +187,16 @@ func (st *Stream) Price(features linalg.Vector, reserve, valuation float64) (pri
 // tracker under one tracker-lock acquisition. valuations must align
 // with rounds.
 func (st *Stream) PriceBatch(rounds []pricing.BatchRound, valuations []float64) []pricing.BatchOutcome {
+	st.trackMu.Lock()
+	defer st.trackMu.Unlock()
 	out := st.poster.PriceBatch(rounds, func(i int, q pricing.Quote) bool {
 		return pricing.Sold(q.Price, valuations[i])
 	})
-	st.trackMu.Lock()
 	for i, o := range out {
 		if o.Err == nil {
 			st.tracker.Record(valuations[i], rounds[i].Reserve, o.Quote)
 		}
 	}
-	st.trackMu.Unlock()
 	return out
 }
 
@@ -187,10 +216,30 @@ func (st *Stream) Observe(accepted bool) error {
 	return st.poster.Observe(accepted)
 }
 
-// Snapshot captures the stream's state in a family-tagged envelope.
+// Snapshot captures the stream's state in a family-tagged envelope. The
+// envelope carries the regret-tracker aggregates alongside the poster
+// state, so a restore resumes both the mechanism and the stream's
+// bookkeeping. Holding the round lock across both captures makes the
+// pair consistent: every round in the poster counters is also in the
+// regret aggregates and vice versa (two-phase rounds excepted — they
+// never enter the tracker).
 func (st *Stream) Snapshot() (*pricing.Envelope, error) {
-	return st.poster.SnapshotEnvelope()
+	st.trackMu.Lock()
+	defer st.trackMu.Unlock()
+	env, err := st.poster.SnapshotEnvelope()
+	if err != nil {
+		return nil, err
+	}
+	ts := st.tracker.State()
+	env.Regret = &ts
+	return env, nil
 }
+
+// Revision exposes the poster's monotonic mutation counter (one atomic
+// load, never waits on pricing). The background checkpointer compares it
+// against the revision of the last persisted snapshot to skip streams
+// that saw no traffic.
+func (st *Stream) Revision() uint64 { return st.poster.Revision() }
 
 // Restore replaces the stream's poster state in place. Cross-family
 // snapshots are rejected — restoring an sgd envelope into a nonlinear
@@ -208,12 +257,27 @@ func (st *Stream) Restore(env *pricing.Envelope) error {
 	if dim != st.dim {
 		return fmt.Errorf("server: snapshot dimension %d, stream dimension %d", dim, st.dim)
 	}
-	return st.poster.RestoreEnvelopeSnapshot(env)
+	tracker, err := restoredTracker(env)
+	if err != nil {
+		return err
+	}
+	// The round lock makes the poster swap and the tracker swap one
+	// atomic step relative to Price/PriceBatch/Snapshot.
+	st.trackMu.Lock()
+	defer st.trackMu.Unlock()
+	if err := st.poster.RestoreEnvelopeSnapshot(env); err != nil {
+		return err
+	}
+	st.tracker = tracker
+	return nil
 }
 
-// Stats reports the poster counters and regret bookkeeping.
+// Stats reports the poster counters and regret bookkeeping. HasCounters
+// distinguishes a poster that keeps no counters from one whose counters
+// are all zero — previously the Counters status bool was silently
+// dropped and such a poster reported indistinguishable zeros.
 func (st *Stream) Stats() StatsResponse {
-	counters, _ := st.poster.Counters()
+	counters, ok := st.poster.Counters()
 	st.trackMu.Lock()
 	reg := RegretStats{
 		Rounds:            st.tracker.Rounds(),
@@ -223,7 +287,10 @@ func (st *Stream) Stats() StatsResponse {
 		RegretRatio:       st.tracker.RegretRatio(),
 	}
 	st.trackMu.Unlock()
-	return StatsResponse{ID: st.id, Family: string(st.family), Dim: st.dim, Counters: counters, Regret: reg}
+	return StatsResponse{
+		ID: st.id, Family: string(st.family), Dim: st.dim,
+		Counters: counters, HasCounters: ok, Regret: reg,
+	}
 }
 
 // DefaultShards is the registry shard count used by NewRegistry(0). With
@@ -231,11 +298,62 @@ func (st *Stream) Stats() StatsResponse {
 // well past a hundred concurrent streams.
 const DefaultShards = 32
 
+// LifecycleObserver receives the registry's stream lifecycle events.
+// Persistence hangs off these hooks: brokerd attaches a Persister so
+// every create, restore, and delete is journaled before (write-ahead of)
+// the in-memory commit.
+//
+// Callbacks run while the stream's shard write lock is held, so they
+// are ordered exactly like the events themselves — a create's callback
+// never races the same stream's delete callback. They must not call
+// back into the registry (deadlock). The cost of that ordering is that
+// a slow callback (e.g. a journal fsync under -fsync always) holds the
+// write lock, stalling every operation on the shard — including the
+// Registry.Get at the head of each pricing request for streams hashed
+// there. Lifecycle events are rare next to pricing, and 1/DefaultShards
+// of streams share the stall, so the trade is deliberate; observers
+// should still keep callbacks as short as durability allows.
+//
+// An error vetoes the event: the registry returns it to the caller and
+// the in-memory commit does not happen (for in-place restores, which
+// mutate an existing stream before the callback, the restore itself
+// stands — see GetOrRestore).
+type LifecycleObserver interface {
+	// StreamCreated fires before a newly created stream becomes visible.
+	StreamCreated(st *Stream) error
+	// StreamRestored fires after a snapshot restore, both the fresh-ID
+	// path (before the stream becomes visible) and the in-place path.
+	StreamRestored(st *Stream) error
+	// StreamDeleted fires before the stream is removed.
+	StreamDeleted(id string) error
+}
+
 // Registry holds the live streams, sharded by FNV-1a hash of the stream
 // ID. Shard locks are only held for map operations — never while a
 // mechanism prices — so a hot stream slows down nobody else.
 type Registry struct {
 	shards []registryShard
+
+	// obs holds the optional lifecycle observer as an obsHolder (an
+	// atomic.Value needs one consistent concrete type).
+	obs atomic.Value
+}
+
+// obsHolder boxes the observer interface for atomic.Value.
+type obsHolder struct{ obs LifecycleObserver }
+
+// SetObserver installs the lifecycle observer. Install it before serving
+// traffic (and after boot-time recovery, so replayed streams are not
+// re-journaled); events that ran before the observer was installed are
+// not replayed.
+func (r *Registry) SetObserver(obs LifecycleObserver) { r.obs.Store(obsHolder{obs}) }
+
+// observer returns the installed observer, or nil.
+func (r *Registry) observer() LifecycleObserver {
+	if h, ok := r.obs.Load().(obsHolder); ok {
+		return h.obs
+	}
+	return nil
 }
 
 type registryShard struct {
@@ -270,7 +388,10 @@ func (r *Registry) shard(id string) *registryShard {
 // group work by shard before fanning out.
 func (r *Registry) ShardIndex(id string) int { return r.shardIndex(id) }
 
-// Create registers a new stream; it fails if the ID is taken.
+// Create registers a new stream; it fails if the ID is taken, or if the
+// lifecycle observer refuses the event (e.g. the journal append failed —
+// the stream then never becomes visible, so a client's 5xx is honest:
+// nothing was created).
 func (r *Registry) Create(req CreateStreamRequest) (*Stream, error) {
 	st, err := newStream(req)
 	if err != nil {
@@ -281,6 +402,11 @@ func (r *Registry) Create(req CreateStreamRequest) (*Stream, error) {
 	defer sh.mu.Unlock()
 	if _, ok := sh.streams[req.ID]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrStreamExists, req.ID)
+	}
+	if obs := r.observer(); obs != nil {
+		if err := obs.StreamCreated(st); err != nil {
+			return nil, fmt.Errorf("%w: created stream %q: %v", ErrPersist, req.ID, err)
+		}
 	}
 	sh.streams[req.ID] = st
 	return st, nil
@@ -302,16 +428,35 @@ func (r *Registry) Get(id string) (*Stream, error) {
 // into it, or registers a new stream rebuilt from the envelope. The
 // shard lock is held across the in-place restore so a concurrent Delete
 // cannot orphan the stream between lookup and restore.
+//
+// On the in-place path the restore is applied before the observer fires
+// (the event describes the restored stream), so an observer error leaves
+// the in-memory restore in place; the returned error tells the caller
+// the new state may not be durable yet — the next checkpoint pass
+// re-persists it.
 func (r *Registry) GetOrRestore(id string, env *pricing.Envelope) (*Stream, bool, error) {
 	sh := r.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if st, ok := sh.streams[id]; ok {
-		return st, false, st.Restore(env)
+		if err := st.Restore(env); err != nil {
+			return st, false, err
+		}
+		if obs := r.observer(); obs != nil {
+			if err := obs.StreamRestored(st); err != nil {
+				return st, false, fmt.Errorf("%w: stream %q restored in memory but not journaled: %v", ErrPersist, id, err)
+			}
+		}
+		return st, false, nil
 	}
 	st, err := restoredStream(id, env)
 	if err != nil {
 		return nil, false, err
+	}
+	if obs := r.observer(); obs != nil {
+		if err := obs.StreamRestored(st); err != nil {
+			return nil, false, fmt.Errorf("%w: restored stream %q: %v", ErrPersist, id, err)
+		}
 	}
 	sh.streams[id] = st
 	return st, true, nil
@@ -340,8 +485,48 @@ func (r *Registry) Delete(id string, force bool) error {
 	if !force && st.Pending() {
 		return fmt.Errorf("%w: %q", ErrStreamPending, id)
 	}
+	if obs := r.observer(); obs != nil {
+		if err := obs.StreamDeleted(id); err != nil {
+			return fmt.Errorf("%w: delete of stream %q: %v", ErrPersist, id, err)
+		}
+	}
 	delete(sh.streams, id)
 	return nil
+}
+
+// Streams snapshots the live stream set (no particular order). The
+// pointers stay valid after the shard locks are released — a stream
+// deleted concurrently simply stops receiving traffic — so callers like
+// the checkpointer can iterate thousands of streams without holding any
+// registry lock.
+func (r *Registry) Streams() []*Stream {
+	out := make([]*Stream, 0, 64)
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, st := range sh.streams {
+			out = append(out, st)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Visit runs f(st) for the stream with the given ID while holding its
+// shard read lock. Because Delete journals and removes under the shard
+// write lock, work done inside f is ordered strictly before or strictly
+// after any delete of the stream — the checkpointer uses this to make
+// "snapshot then persist" atomic against deletion, so a checkpoint can
+// never resurrect a deleted stream in the store.
+func (r *Registry) Visit(id string, f func(*Stream) error) error {
+	sh := r.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	st, ok := sh.streams[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrStreamNotFound, id)
+	}
+	return f(st)
 }
 
 // Len counts the hosted streams.

@@ -228,7 +228,7 @@ func TestServerTwoPhase(t *testing.T) {
 		PriceRequest{Features: []float64{0, 1}, Valuation: &val}, nil, http.StatusConflict)
 	// Snapshots are refused mid-round, and so are restores — swapping
 	// state now would discard the buyer's in-flight decision.
-	c.mustDo("GET", "/v1/streams/s/snapshot", nil, nil, http.StatusBadRequest)
+	c.mustDo("GET", "/v1/streams/s/snapshot", nil, nil, http.StatusConflict)
 	var fresh pricing.Envelope
 	c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: "donor", Dim: 2}, nil, http.StatusCreated)
 	c.mustDo("GET", "/v1/streams/donor/snapshot", nil, &fresh, http.StatusOK)

@@ -2,6 +2,7 @@ package server
 
 import (
 	"datamarket/internal/pricing"
+	"datamarket/internal/store"
 )
 
 // CreateStreamRequest configures a new pricing stream: a family plus a
@@ -140,13 +141,41 @@ type RegretStats struct {
 }
 
 // StatsResponse surfaces a stream's mechanism counters and regret
-// bookkeeping.
+// bookkeeping. HasCounters reports whether the poster keeps counters at
+// all; when false the Counters block is meaningless zeros rather than a
+// genuinely idle stream.
 type StatsResponse struct {
-	ID       string           `json:"id"`
-	Family   string           `json:"family"`
-	Dim      int              `json:"dim"`
-	Counters pricing.Counters `json:"counters"`
-	Regret   RegretStats      `json:"regret"`
+	ID          string           `json:"id"`
+	Family      string           `json:"family"`
+	Dim         int              `json:"dim"`
+	Counters    pricing.Counters `json:"counters"`
+	HasCounters bool             `json:"has_counters"`
+	Regret      RegretStats      `json:"regret"`
+}
+
+// CheckpointResponse reports an admin-triggered checkpoint pass
+// (POST /v1/admin/checkpoint), plus whether the store was compacted
+// afterwards (?compact=true).
+type CheckpointResponse struct {
+	CheckpointStats
+	Compacted bool `json:"compacted"`
+}
+
+// StoreStatusResponse is the persistence ops surface
+// (GET /v1/admin/store). Configured false means brokerd runs without a
+// data dir — purely in-memory, nothing survives a restart — and every
+// other field is absent.
+type StoreStatusResponse struct {
+	Configured bool `json:"configured"`
+	// CheckpointInterval is the background checkpointer period.
+	CheckpointInterval string `json:"checkpoint_interval,omitempty"`
+	// RecoveredStreams counts the streams replayed from the store at boot.
+	RecoveredStreams int `json:"recovered_streams,omitempty"`
+	// LastCheckpoint reports the most recent checkpoint pass.
+	LastCheckpoint *CheckpointStats `json:"last_checkpoint,omitempty"`
+	// Store is the backend's own view: journal/checkpoint sizes, LSNs,
+	// fsync policy, torn-tail repair.
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // ErrorResponse is the uniform error body.

@@ -78,6 +78,52 @@ func (o *Online) Min() float64 { return o.min }
 // Max returns the maximum observation (−Inf if empty).
 func (o *Online) Max() float64 { return o.max }
 
+// OnlineState is the serializable state of an Online accumulator. Min and
+// Max are stored only for non-empty accumulators (an empty accumulator's
+// ±Inf sentinels are not JSON-encodable); OnlineFromState restores the
+// sentinels when N is zero.
+type OnlineState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// State captures the accumulator for durable storage.
+func (o *Online) State() OnlineState {
+	s := OnlineState{N: o.n, Mean: o.mean, M2: o.m2}
+	if o.n > 0 {
+		s.Min, s.Max = o.min, o.max
+	}
+	return s
+}
+
+// NewOnlineFromState rebuilds an accumulator captured by State. It
+// rejects states no Add sequence can produce.
+func NewOnlineFromState(s OnlineState) (*Online, error) {
+	if s.N < 0 {
+		return nil, fmt.Errorf("stats: online state count %d invalid", s.N)
+	}
+	for _, v := range [...]float64{s.Mean, s.M2, s.Min, s.Max} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("stats: online state field %g invalid, want finite", v)
+		}
+	}
+	if s.M2 < 0 {
+		return nil, fmt.Errorf("stats: online state m2 %g invalid, want ≥ 0", s.M2)
+	}
+	o := NewOnline()
+	if s.N == 0 {
+		return o, nil
+	}
+	if s.Min > s.Max {
+		return nil, fmt.Errorf("stats: online state min %g exceeds max %g", s.Min, s.Max)
+	}
+	o.n, o.mean, o.m2, o.min, o.max = s.N, s.Mean, s.M2, s.Min, s.Max
+	return o, nil
+}
+
 // Merge folds another accumulator into o (parallel Welford merge).
 func (o *Online) Merge(p *Online) {
 	if p.n == 0 {

@@ -1,0 +1,559 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// File names inside the data directory.
+const (
+	journalFile    = "journal.wal"
+	checkpointFile = "checkpoint.ckpt"
+	checkpointTmp  = "checkpoint.ckpt.tmp"
+)
+
+// FsyncPolicy selects how aggressively the journal is flushed to stable
+// storage. The trade-off is the classic WAL one: "always" makes every
+// acknowledged lifecycle event and checkpoint record survive a machine
+// crash at the cost of one fsync per append; "interval" bounds the loss
+// window to the sync interval; "never" leaves flushing to the OS page
+// cache (a process crash loses nothing — the file writes happened — but
+// a machine crash can lose the unflushed tail).
+type FsyncPolicy string
+
+const (
+	FsyncAlways   FsyncPolicy = "always"
+	FsyncInterval FsyncPolicy = "interval"
+	FsyncNever    FsyncPolicy = "never"
+)
+
+// ParseFsyncPolicy validates a policy name (the -fsync flag value).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case FsyncAlways, FsyncInterval, FsyncNever:
+		return FsyncPolicy(s), nil
+	case "":
+		return FsyncInterval, nil
+	default:
+		return "", fmt.Errorf("store: unknown fsync policy %q (want always, interval, or never)", s)
+	}
+}
+
+// JournalConfig configures OpenJournal. The zero value of every field
+// picks a sensible default.
+type JournalConfig struct {
+	// Dir is the data directory (required). It is created if missing.
+	Dir string
+	// Fsync selects the flush policy; default FsyncInterval.
+	Fsync FsyncPolicy
+	// SyncEvery is the FsyncInterval flush period; default 100ms.
+	SyncEvery time.Duration
+	// CompactAt is the journal-tail size (bytes) beyond which
+	// MaybeCompact compacts. Default 64 MB; negative makes MaybeCompact
+	// a no-op (explicit Compact calls still work).
+	CompactAt int64
+}
+
+// Journal is the on-disk Store: an append-only journal of CRC-framed
+// records plus a checkpoint file that compaction rewrites. The full live
+// set is also kept in memory (it must fit anyway — the registry holds
+// live posters for every stream), which makes Load trivial and lets
+// Compact rewrite the checkpoint without re-reading the journal.
+//
+// Crash safety: appends are framed, so a crash mid-append leaves a torn
+// tail that the next open detects by CRC and truncates. Checkpoints are
+// written to a temp file, fsynced, and renamed into place, so a crash
+// mid-compaction leaves the previous checkpoint intact; the checkpoint's
+// meta record carries the last LSN it includes, so journal records that
+// survive a crash between the rename and the journal reset are
+// recognized as already-applied and skipped on replay.
+type Journal struct {
+	cfg JournalConfig
+
+	mu       sync.Mutex
+	closed   bool
+	broken   bool  // a failed append could not be rolled back; appends refused
+	brokenAt int64 // end of the good prefix when broken; Close retries truncating here
+	f        *os.File
+	dirty    bool // appended since last fsync
+
+	entries map[string]Entry
+	lsn     uint64 // last assigned sequence number
+	ckptLSN uint64 // last LSN covered by the checkpoint file
+
+	journalBytes   int64
+	journalRecords int
+	ckptBytes      int64
+	appends        uint64
+	compactions    uint64
+	syncErrors     uint64
+	recovered      int
+	tornRepaired   bool
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+// OpenJournal opens (or initializes) the journal store in cfg.Dir,
+// replaying checkpoint and journal into the in-memory live set and
+// truncating any torn tail a crash left behind.
+func OpenJournal(cfg JournalConfig) (*Journal, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("store: journal needs a data directory")
+	}
+	if cfg.Fsync == "" {
+		cfg.Fsync = FsyncInterval
+	}
+	if _, err := ParseFsyncPolicy(string(cfg.Fsync)); err != nil {
+		return nil, err
+	}
+	if cfg.SyncEvery <= 0 {
+		cfg.SyncEvery = 100 * time.Millisecond
+	}
+	if cfg.CompactAt == 0 {
+		cfg.CompactAt = 64 << 20
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating data dir: %w", err)
+	}
+	j := &Journal{cfg: cfg, entries: make(map[string]Entry)}
+	if err := j.loadCheckpoint(); err != nil {
+		return nil, err
+	}
+	if err := j.replayJournal(); err != nil {
+		return nil, err
+	}
+	// Make the journal file's directory entry durable: per-append fsyncs
+	// flush the file's contents, but on a fresh data dir the file itself
+	// exists only once the directory is synced.
+	if cfg.Fsync != FsyncNever {
+		if err := syncDir(cfg.Dir); err != nil {
+			j.f.Close()
+			return nil, err
+		}
+	}
+	j.recovered = len(j.entries)
+	if j.cfg.Fsync == FsyncInterval {
+		j.stopSync = make(chan struct{})
+		j.syncDone = make(chan struct{})
+		go j.syncLoop()
+	}
+	return j, nil
+}
+
+// loadCheckpoint reads checkpoint.ckpt into the live set. A missing file
+// is a fresh store. Unlike the journal, a checkpoint is never
+// legitimately torn (it is published by atomic rename), so corruption is
+// an error, not a truncation.
+func (j *Journal) loadCheckpoint() error {
+	path := filepath.Join(j.cfg.Dir, checkpointFile)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	if fi, err := f.Stat(); err == nil {
+		j.ckptBytes = fi.Size()
+	}
+	r := bufio.NewReaderSize(f, 1<<20)
+	first := true
+	for {
+		payload, err := readFrame(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("store: checkpoint %s is corrupt: %w", path, err)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("store: checkpoint %s: %w", path, err)
+		}
+		if first {
+			if rec.Op != opCheckpoint {
+				return fmt.Errorf("store: checkpoint %s does not start with a checkpoint record", path)
+			}
+			j.ckptLSN = rec.LSN
+			j.lsn = rec.LSN
+			first = false
+			continue
+		}
+		if rec.Op != opPut {
+			return fmt.Errorf("store: checkpoint %s carries a %q record", path, rec.Op)
+		}
+		j.entries[rec.ID] = Entry{ID: rec.ID, Rev: rec.Rev, Env: rec.Env}
+	}
+	return nil
+}
+
+// replayJournal applies journal records past the checkpoint LSN to the
+// live set, truncates any torn tail, and leaves the file open for
+// appends.
+func (j *Journal) replayJournal() error {
+	path := filepath.Join(j.cfg.Dir, journalFile)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening journal: %w", err)
+	}
+	r := bufio.NewReaderSize(f, 1<<20)
+	var offset int64
+	for {
+		payload, err := readFrame(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// A torn tail is what a crash mid-append leaves behind; the
+			// log ends at the last whole record.
+			j.tornRepaired = true
+			break
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			// The frame CRC passed but the payload is not a valid record:
+			// not a torn write, genuine corruption.
+			f.Close()
+			return fmt.Errorf("store: journal %s at offset %d: %w", path, offset, err)
+		}
+		offset += frameHeaderSize + int64(len(payload))
+		j.journalRecords++
+		if rec.LSN > j.lsn {
+			j.lsn = rec.LSN
+		}
+		if rec.LSN <= j.ckptLSN {
+			// Already folded into the checkpoint: a crash hit between the
+			// checkpoint rename and the journal reset.
+			continue
+		}
+		switch rec.Op {
+		case opPut:
+			j.entries[rec.ID] = Entry{ID: rec.ID, Rev: rec.Rev, Env: rec.Env}
+		case opDel:
+			delete(j.entries, rec.ID)
+		case opCheckpoint:
+			f.Close()
+			return fmt.Errorf("store: journal %s carries a checkpoint record", path)
+		}
+	}
+	if j.tornRepaired {
+		if err := f.Truncate(offset); err != nil {
+			f.Close()
+			return fmt.Errorf("store: truncating torn journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("store: seeking journal end: %w", err)
+	}
+	j.journalBytes = offset
+	j.f = f
+	return nil
+}
+
+// syncLoop flushes the journal every SyncEvery while dirty (FsyncInterval
+// policy). A failed sync keeps the dirty flag — the flush is retried on
+// the next tick — and is counted in Stats, so a failing disk cannot
+// silently void the policy's bounded-loss promise.
+func (j *Journal) syncLoop() {
+	defer close(j.syncDone)
+	t := time.NewTicker(j.cfg.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.stopSync:
+			return
+		case <-t.C:
+			j.mu.Lock()
+			if j.dirty && !j.closed {
+				if err := j.f.Sync(); err != nil {
+					j.syncErrors++
+				} else {
+					j.dirty = false
+				}
+			}
+			j.mu.Unlock()
+		}
+	}
+}
+
+// append encodes and writes one record under the lock, applying the
+// fsync policy. A record either commits fully (written, and synced
+// under FsyncAlways) or not at all: a failed write *or* failed sync is
+// rolled back by truncating to the last good offset, so a rejected
+// operation does not resurrect on replay and a later successful append
+// can never land after a torn frame (replay would silently discard it).
+// If even the rollback fails, the journal is marked broken and refuses
+// all further appends rather than acknowledge records it may lose; the
+// truncate is retried at Close (see rollback for the residual window).
+func (j *Journal) append(rec *record) error {
+	frame, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	lastGood := j.journalBytes
+	rollback := func(cause string, err error) error {
+		if terr := j.f.Truncate(lastGood); terr == nil {
+			if _, serr := j.f.Seek(lastGood, io.SeekStart); serr == nil {
+				return fmt.Errorf("store: %s journal record: %w", cause, err)
+			}
+		}
+		// The rejected frame may still be on disk; remember where the
+		// good prefix ends so Close can retry the truncate. If the
+		// process dies before any retry succeeds, the next boot can
+		// resurrect the rejected record — the unavoidable residue of a
+		// disk that fails writes and truncates at once.
+		j.broken = true
+		j.brokenAt = lastGood
+		return fmt.Errorf("store: journal append failed and could not be rolled back; journal disabled: %w", err)
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		return rollback("appending", err)
+	}
+	if j.cfg.Fsync == FsyncAlways {
+		if err := j.f.Sync(); err != nil {
+			return rollback("syncing", err)
+		}
+	} else {
+		j.dirty = true
+	}
+	j.journalBytes += int64(len(frame))
+	j.journalRecords++
+	j.appends++
+	return nil
+}
+
+// appendable reports whether the journal can accept records. The caller
+// must hold j.mu.
+func (j *Journal) appendable() error {
+	if j.closed {
+		return ErrClosed
+	}
+	if j.broken {
+		return fmt.Errorf("store: journal disabled after unrecoverable append failure")
+	}
+	return nil
+}
+
+// Put records the latest state of one stream. Success means the record
+// is in the journal (durably, under FsyncAlways); compaction is a
+// separate concern — see MaybeCompact — so a full disk during
+// compaction can never fail an operation that already committed.
+func (j *Journal) Put(e Entry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.appendable(); err != nil {
+		return err
+	}
+	j.lsn++
+	if err := j.append(&record{LSN: j.lsn, Op: opPut, ID: e.ID, Rev: e.Rev, Env: e.Env}); err != nil {
+		j.lsn--
+		return err
+	}
+	j.entries[e.ID] = e
+	return nil
+}
+
+// Delete records that a stream was removed.
+func (j *Journal) Delete(id string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.appendable(); err != nil {
+		return err
+	}
+	j.lsn++
+	if err := j.append(&record{LSN: j.lsn, Op: opDel, ID: id}); err != nil {
+		j.lsn--
+		return err
+	}
+	delete(j.entries, id)
+	return nil
+}
+
+// Load returns the live entries, sorted by ID.
+func (j *Journal) Load() ([]Entry, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil, ErrClosed
+	}
+	return sortedEntries(j.entries), nil
+}
+
+// MaybeCompact compacts if the journal tail has outgrown CompactAt,
+// reporting whether it did. Callers that batch appends (the server's
+// checkpointer) invoke it once per pass, outside their own locks —
+// compaction rewrites the whole live set, far too much work to hang off
+// an individual Put.
+func (j *Journal) MaybeCompact() (bool, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return false, ErrClosed
+	}
+	if j.cfg.CompactAt < 0 || j.journalBytes <= j.cfg.CompactAt {
+		return false, nil
+	}
+	if err := j.compactLocked(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Compact folds the live set into a fresh checkpoint and resets the
+// journal tail.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	return j.compactLocked()
+}
+
+// compactLocked writes checkpoint.ckpt.tmp (meta record + one put per
+// live entry), fsyncs it, renames it over checkpoint.ckpt, fsyncs the
+// directory so the rename is durable, and only then resets the journal.
+// Every step is ordered so that a crash at any point leaves either the
+// old checkpoint + full journal or the new checkpoint + (possibly
+// stale, LSN-gated) journal.
+func (j *Journal) compactLocked() error {
+	tmpPath := filepath.Join(j.cfg.Dir, checkpointTmp)
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating checkpoint temp: %w", err)
+	}
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	var written int64
+	writeRec := func(rec *record) error {
+		frame, err := encodeRecord(rec)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(frame); err != nil {
+			return fmt.Errorf("store: writing checkpoint: %w", err)
+		}
+		written += int64(len(frame))
+		return nil
+	}
+	err = writeRec(&record{LSN: j.lsn, Op: opCheckpoint})
+	if err == nil {
+		for _, e := range sortedEntries(j.entries) {
+			if err = writeRec(&record{LSN: j.lsn, Op: opPut, ID: e.ID, Rev: e.Rev, Env: e.Env}); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("store: closing checkpoint temp: %w", cerr)
+	}
+	if err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, filepath.Join(j.cfg.Dir, checkpointFile)); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: publishing checkpoint: %w", err)
+	}
+	if err := syncDir(j.cfg.Dir); err != nil {
+		return err
+	}
+	j.ckptLSN = j.lsn
+	j.ckptBytes = written
+	// Reset the journal tail. If the truncate is lost to a crash, replay
+	// skips the stale records via the LSN gate.
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: resetting journal: %w", err)
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: rewinding journal: %w", err)
+	}
+	j.journalBytes = 0
+	j.journalRecords = 0
+	j.dirty = false
+	j.compactions++
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: opening data dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing data dir: %w", err)
+	}
+	return nil
+}
+
+// Stats reports the store's observable state.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{
+		Backend:          "journal",
+		Dir:              j.cfg.Dir,
+		Entries:          len(j.entries),
+		LastLSN:          j.lsn,
+		JournalBytes:     j.journalBytes,
+		JournalRecords:   j.journalRecords,
+		CheckpointBytes:  j.ckptBytes,
+		Appends:          j.appends,
+		Compactions:      j.compactions,
+		SyncErrors:       j.syncErrors,
+		RecoveredEntries: j.recovered,
+		TornTailRepaired: j.tornRepaired,
+		Fsync:            string(j.cfg.Fsync),
+	}
+}
+
+// Close flushes and closes the journal. The store is unusable after.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	j.mu.Unlock()
+	if j.stopSync != nil {
+		close(j.stopSync)
+		<-j.syncDone
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var err error
+	if j.broken {
+		// Last chance to drop the rejected frame before the file is
+		// released; if this fails too, the next boot may replay it.
+		if terr := j.f.Truncate(j.brokenAt); terr != nil {
+			err = fmt.Errorf("store: closing broken journal, rejected tail not removed: %w", terr)
+		}
+	}
+	if j.cfg.Fsync != FsyncNever {
+		if serr := j.f.Sync(); err == nil {
+			err = serr
+		}
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+var _ Store = (*Journal)(nil)

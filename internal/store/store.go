@@ -1,0 +1,193 @@
+// Package store is brokerd's persistence subsystem: a pluggable Store
+// holding the durable state of every hosted pricing stream as a
+// family-tagged snapshot envelope.
+//
+// The paper's posted-price mechanism is stateful online learning — the
+// regret bound depends on the cuts accumulated over the whole horizon —
+// so losing a stream's state mid-run silently destroys the guarantee. A
+// Store gives the serving layer a place to record stream lifecycle
+// events (create, restore, delete) and periodic checkpoints of changed
+// streams, and to read the surviving set back after a crash.
+//
+// Two backends ship: Mem, an in-memory map for tests and embedders that
+// want the lifecycle plumbing without disk, and Journal, an append-only
+// on-disk journal of CRC-framed records with checkpoint compaction and a
+// configurable fsync policy.
+package store
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"datamarket/internal/pricing"
+)
+
+// Entry is one persisted stream: its registry ID, the poster's monotonic
+// revision at capture time, and the family-tagged snapshot envelope
+// (which carries the regret-tracker aggregates alongside the mechanism
+// state). The envelope is owned by the store once passed to Put; callers
+// must not mutate it afterwards.
+type Entry struct {
+	ID  string            `json:"id"`
+	Rev uint64            `json:"rev"`
+	Env *pricing.Envelope `json:"env"`
+}
+
+// Stats describes a store's observable state for the ops surface
+// (GET /v1/admin/store).
+type Stats struct {
+	// Backend names the implementation: "mem" or "journal".
+	Backend string `json:"backend"`
+	// Dir is the journal backend's data directory.
+	Dir string `json:"dir,omitempty"`
+	// Entries counts the live (non-deleted) streams the store holds.
+	Entries int `json:"entries"`
+	// LastLSN is the sequence number of the most recent record.
+	LastLSN uint64 `json:"last_lsn"`
+	// JournalBytes and JournalRecords measure the append-only tail since
+	// the last compaction.
+	JournalBytes   int64 `json:"journal_bytes"`
+	JournalRecords int   `json:"journal_records"`
+	// CheckpointBytes is the size of the last written checkpoint file.
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	// Appends and Compactions count operations since open.
+	Appends     uint64 `json:"appends"`
+	Compactions uint64 `json:"compactions"`
+	// SyncErrors counts failed background flushes under the interval
+	// fsync policy (each is retried on the next tick; a non-zero value
+	// means the bounded-loss promise is currently at risk).
+	SyncErrors uint64 `json:"sync_errors,omitempty"`
+	// RecoveredEntries is the live set size found at open.
+	RecoveredEntries int `json:"recovered_entries"`
+	// TornTailRepaired reports that open found a torn record at the
+	// journal tail (a crash mid-append) and truncated it away.
+	TornTailRepaired bool `json:"torn_tail_repaired,omitempty"`
+	// Fsync names the journal backend's sync policy.
+	Fsync string `json:"fsync,omitempty"`
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Store is the persistence interface the serving layer drives. Put and
+// Delete record lifecycle events and checkpoint passes; Load returns the
+// surviving live set at boot; Compact folds the journal tail into a
+// fresh checkpoint. Implementations are safe for concurrent use.
+type Store interface {
+	// Put records the latest state of one stream.
+	Put(e Entry) error
+	// Delete records that a stream was removed.
+	Delete(id string) error
+	// Load returns the live entries, sorted by ID.
+	Load() ([]Entry, error)
+	// Compact folds all live state into a checkpoint and resets the
+	// journal tail. A no-op for backends without a journal.
+	Compact() error
+	// MaybeCompact compacts only if the journal tail has outgrown its
+	// configured threshold, reporting whether it did. Callers invoke it
+	// at batch boundaries (e.g. after a checkpoint pass) so compaction
+	// cost never rides on an individual Put or Delete.
+	MaybeCompact() (bool, error)
+	// Stats reports the store's observable state.
+	Stats() Stats
+	// Close flushes and releases the store. The store is unusable after.
+	Close() error
+}
+
+// Mem is the in-memory Store: a mutex-guarded map. It gives tests and
+// embedders the full lifecycle surface with zero I/O; nothing survives
+// the process.
+type Mem struct {
+	mu      sync.Mutex
+	closed  bool
+	entries map[string]Entry
+	lsn     uint64
+	appends uint64
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{entries: make(map[string]Entry)} }
+
+// Put records the latest state of one stream.
+func (m *Mem) Put(e Entry) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.lsn++
+	m.appends++
+	m.entries[e.ID] = e
+	return nil
+}
+
+// Delete records that a stream was removed.
+func (m *Mem) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.lsn++
+	m.appends++
+	delete(m.entries, id)
+	return nil
+}
+
+// Load returns the live entries, sorted by ID.
+func (m *Mem) Load() ([]Entry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	return sortedEntries(m.entries), nil
+}
+
+// Compact is a no-op: the map is always compact.
+func (m *Mem) Compact() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// MaybeCompact is a no-op: the map is always compact.
+func (m *Mem) MaybeCompact() (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false, ErrClosed
+	}
+	return false, nil
+}
+
+// Stats reports the store's observable state.
+func (m *Mem) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Backend: "mem", Entries: len(m.entries), LastLSN: m.lsn, Appends: m.appends}
+}
+
+// Close marks the store unusable.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+// sortedEntries snapshots a live map into an ID-sorted slice.
+func sortedEntries(entries map[string]Entry) []Entry {
+	out := make([]Entry, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+var _ Store = (*Mem)(nil)

@@ -1,0 +1,381 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"datamarket/internal/pricing"
+)
+
+// testEnv builds a real linear-family envelope (the store treats it as an
+// opaque payload, but realistic envelopes keep the frame sizes honest).
+func testEnv(t *testing.T, dim int, rounds int) *pricing.Envelope {
+	t.Helper()
+	p, err := pricing.NewFamilyPoster(pricing.FamilySpec{Family: pricing.FamilyLinear, Dim: dim, Horizon: 1000})
+	if err != nil {
+		t.Fatalf("NewFamilyPoster: %v", err)
+	}
+	s := pricing.NewSync(p)
+	x := make([]float64, dim)
+	for i := range x {
+		x[i] = 1 / float64(dim)
+	}
+	for r := 0; r < rounds; r++ {
+		if _, _, err := s.PriceRound(x, 0, func(q pricing.Quote) bool { return q.Price <= 1 }); err != nil {
+			t.Fatalf("PriceRound: %v", err)
+		}
+	}
+	env, err := s.SnapshotEnvelope()
+	if err != nil {
+		t.Fatalf("SnapshotEnvelope: %v", err)
+	}
+	return env
+}
+
+func loadMap(t *testing.T, s Store) map[string]Entry {
+	t.Helper()
+	entries, err := s.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	m := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		m[e.ID] = e
+	}
+	return m
+}
+
+func TestMemStoreLifecycle(t *testing.T) {
+	m := NewMem()
+	if err := m.Put(Entry{ID: "a", Rev: 1, Env: testEnv(t, 2, 1)}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := m.Put(Entry{ID: "b", Rev: 3, Env: testEnv(t, 2, 2)}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := m.Delete("a"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	got := loadMap(t, m)
+	if len(got) != 1 || got["b"].Rev != 3 {
+		t.Fatalf("live set = %v, want only b@3", got)
+	}
+	if st := m.Stats(); st.Backend != "mem" || st.Entries != 1 || st.Appends != 3 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := m.Put(Entry{ID: "c"}); err != ErrClosed {
+		t.Fatalf("Put after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestFrameRoundTripAndCorruption(t *testing.T) {
+	payloads := [][]byte{[]byte(`{"a":1}`), []byte(``), bytes.Repeat([]byte("x"), 4096)}
+	var buf []byte
+	for _, p := range payloads {
+		buf = appendFrame(buf, p)
+	}
+	r := bufio.NewReader(bytes.NewReader(buf))
+	for i, want := range payloads {
+		got, err := readFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d = %q, want %q", i, got, want)
+		}
+	}
+	if _, err := readFrame(r); err == nil || err.Error() != "EOF" {
+		t.Fatalf("clean end = %v, want EOF", err)
+	}
+
+	// Flip one payload byte: the CRC must catch it.
+	corrupt := append([]byte(nil), buf...)
+	corrupt[frameHeaderSize] ^= 0xff
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(corrupt))); err != errTorn {
+		t.Fatalf("corrupt frame = %v, want errTorn", err)
+	}
+
+	// A partial final frame is torn, not a clean EOF.
+	r = bufio.NewReader(bytes.NewReader(buf[:len(buf)-3]))
+	var last error
+	for {
+		if _, last = readFrame(r); last != nil {
+			break
+		}
+	}
+	if last != errTorn {
+		t.Fatalf("partial tail = %v, want errTorn", last)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalConfig{Dir: dir, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	envA, envB := testEnv(t, 3, 5), testEnv(t, 2, 0)
+	if err := j.Put(Entry{ID: "a", Rev: 5, Env: envA}); err != nil {
+		t.Fatalf("Put a: %v", err)
+	}
+	if err := j.Put(Entry{ID: "b", Rev: 0, Env: envB}); err != nil {
+		t.Fatalf("Put b: %v", err)
+	}
+	if err := j.Put(Entry{ID: "a", Rev: 7, Env: envA}); err != nil {
+		t.Fatalf("Put a again: %v", err)
+	}
+	if err := j.Delete("b"); err != nil {
+		t.Fatalf("Delete b: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, err := OpenJournal(JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	got := loadMap(t, j2)
+	if len(got) != 1 {
+		t.Fatalf("live set has %d entries, want 1", len(got))
+	}
+	e := got["a"]
+	if e.Rev != 7 || !reflect.DeepEqual(e.Env, envA) {
+		t.Fatalf("entry a = rev %d (env equal: %v), want rev 7 with identical envelope",
+			e.Rev, reflect.DeepEqual(e.Env, envA))
+	}
+	st := j2.Stats()
+	if st.TornTailRepaired {
+		t.Fatal("clean close reported a torn tail")
+	}
+	if st.RecoveredEntries != 1 || st.LastLSN != 4 {
+		t.Fatalf("Stats = %+v, want 1 recovered entry at LSN 4", st)
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalConfig{Dir: dir, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if err := j.Put(Entry{ID: "a", Rev: 1, Env: testEnv(t, 2, 3)}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Simulate a crash mid-append: garbage at the tail.
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	if _, err := f.Write([]byte{0x10, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatalf("append garbage: %v", err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	if st := j2.Stats(); !st.TornTailRepaired {
+		t.Fatalf("Stats = %+v, want TornTailRepaired", st)
+	}
+	if got := loadMap(t, j2); len(got) != 1 || got["a"].Rev != 1 {
+		t.Fatalf("live set = %v, want a@1", got)
+	}
+	// The tail was truncated, so appends land on a clean boundary.
+	if err := j2.Put(Entry{ID: "b", Rev: 2, Env: testEnv(t, 2, 0)}); err != nil {
+		t.Fatalf("Put after repair: %v", err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j3, err := OpenJournal(JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer j3.Close()
+	if st := j3.Stats(); st.TornTailRepaired {
+		t.Fatal("repaired journal still reports a torn tail")
+	}
+	if got := loadMap(t, j3); len(got) != 2 {
+		t.Fatalf("live set has %d entries, want 2", len(got))
+	}
+}
+
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalConfig{Dir: dir, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if err := j.Put(Entry{ID: id, Rev: 1, Env: testEnv(t, 2, 1)}); err != nil {
+			t.Fatalf("Put %s: %v", id, err)
+		}
+	}
+	if err := j.Delete("c"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	st := j.Stats()
+	if st.Compactions != 1 || st.JournalBytes != 0 || st.JournalRecords != 0 || st.CheckpointBytes == 0 {
+		t.Fatalf("post-compact Stats = %+v", st)
+	}
+	// Post-compaction appends replay on top of the checkpoint.
+	if err := j.Put(Entry{ID: "d", Rev: 9, Env: testEnv(t, 2, 2)}); err != nil {
+		t.Fatalf("Put d: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j2, err := OpenJournal(JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	got := loadMap(t, j2)
+	if len(got) != 3 || got["d"].Rev != 9 {
+		t.Fatalf("live set = %v, want a, b, d@9", got)
+	}
+}
+
+// TestJournalLSNGateSkipsStaleRecords simulates the crash window between
+// the checkpoint rename and the journal reset: stale journal records
+// whose LSN the checkpoint already covers must not regress the state.
+func TestJournalLSNGateSkipsStaleRecords(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalConfig{Dir: dir, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if err := j.Put(Entry{ID: "a", Rev: 1, Env: testEnv(t, 2, 1)}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	stale, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+
+	j, err = OpenJournal(JournalConfig{Dir: dir, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if err := j.Put(Entry{ID: "a", Rev: 2, Env: testEnv(t, 2, 4)}); err != nil {
+		t.Fatalf("Put rev 2: %v", err)
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// "Lose" the journal reset: restore the pre-compaction journal whose
+	// record (a@rev1, LSN 1) is covered by the checkpoint (LSN 2).
+	if err := os.WriteFile(filepath.Join(dir, journalFile), stale, 0o644); err != nil {
+		t.Fatalf("restore stale journal: %v", err)
+	}
+	j2, err := OpenJournal(JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen with stale journal: %v", err)
+	}
+	defer j2.Close()
+	if got := loadMap(t, j2); got["a"].Rev != 2 {
+		t.Fatalf("entry a = rev %d, want checkpointed rev 2 (stale journal record must be LSN-gated)", got["a"].Rev)
+	}
+}
+
+func TestJournalMaybeCompact(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalConfig{Dir: dir, Fsync: FsyncNever, CompactAt: 1})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	// Below threshold: a no-op.
+	if compacted, err := j.MaybeCompact(); err != nil || compacted {
+		t.Fatalf("MaybeCompact on empty journal = %v, %v", compacted, err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := j.Put(Entry{ID: "s", Rev: uint64(i), Env: testEnv(t, 2, i)}); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if compacted, err := j.MaybeCompact(); err != nil || !compacted {
+		t.Fatalf("MaybeCompact past threshold = %v, %v, want compaction", compacted, err)
+	}
+	if st := j.Stats(); st.Compactions != 1 || st.JournalBytes != 0 {
+		t.Fatalf("post-compact Stats = %+v", st)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j2, err := OpenJournal(JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if got := loadMap(t, j2); len(got) != 1 || got["s"].Rev != 3 {
+		t.Fatalf("live set = %v, want s@3", got)
+	}
+}
+
+// TestJournalBrokenAfterUnrecoverableAppend: when an append fails and
+// the rollback cannot restore the last good offset, the journal refuses
+// further appends instead of acknowledging records a replay would
+// silently discard behind the torn frame.
+func TestJournalBrokenAfterUnrecoverableAppend(t *testing.T) {
+	j, err := OpenJournal(JournalConfig{Dir: t.TempDir(), Fsync: FsyncNever})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if err := j.Put(Entry{ID: "a", Rev: 1, Env: testEnv(t, 2, 1)}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Sabotage the file descriptor: the next write *and* the rollback
+	// truncate both fail.
+	j.f.Close()
+	if err := j.Put(Entry{ID: "b", Rev: 1, Env: testEnv(t, 2, 0)}); err == nil {
+		t.Fatal("Put succeeded on a closed journal file")
+	}
+	if err := j.Put(Entry{ID: "c", Rev: 1, Env: testEnv(t, 2, 0)}); err == nil {
+		t.Fatal("journal accepted an append after an unrecoverable failure")
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for s, want := range map[string]FsyncPolicy{
+		"": FsyncInterval, "always": FsyncAlways, "interval": FsyncInterval, "never": FsyncNever,
+	} {
+		got, err := ParseFsyncPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %q, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := OpenJournal(JournalConfig{Dir: t.TempDir(), Fsync: "sometimes"}); err == nil {
+		t.Fatal("OpenJournal accepted unknown fsync policy")
+	}
+	if _, err := OpenJournal(JournalConfig{}); err == nil {
+		t.Fatal("OpenJournal accepted empty dir")
+	}
+}
