@@ -1,0 +1,64 @@
+package api
+
+// Admin and introspection wire types.
+
+// VersionResponse reports the server's wire contract and build
+// (GET /v1/version). Clients compare API against their own APIVersion
+// before relying on any other endpoint; Server and GoVersion are
+// informational.
+type VersionResponse struct {
+	// API is the wire contract version ("v1").
+	API string `json:"api"`
+	// Server is the brokerd release version.
+	Server string `json:"server"`
+	// GoVersion is the toolchain the server was built with.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS revision baked into the build, when known.
+	Revision string `json:"revision,omitempty"`
+}
+
+// CheckpointStats reports one checkpoint pass of the persistence
+// subsystem.
+type CheckpointStats struct {
+	// Streams is the number of live streams examined.
+	Streams int `json:"streams"`
+	// Persisted counts streams whose state was written this pass.
+	Persisted int `json:"persisted"`
+	// SkippedClean counts streams skipped because their revision had not
+	// moved since their last persist — the cheap path that lets a
+	// thousand-stream registry checkpoint in microseconds when idle.
+	SkippedClean int `json:"skipped_clean"`
+	// SkippedPending counts streams skipped because a two-phase round
+	// was awaiting feedback (snapshots are between-rounds only); they
+	// are retried on the next pass.
+	SkippedPending int `json:"skipped_pending"`
+	// Errors counts streams whose persist failed this pass.
+	Errors int `json:"errors"`
+	// DurationMS is the wall-clock time of the pass.
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// CheckpointResponse reports an admin-triggered checkpoint pass
+// (POST /v1/admin/checkpoint), plus whether the store was compacted
+// afterwards (?compact=true).
+type CheckpointResponse struct {
+	CheckpointStats
+	Compacted bool `json:"compacted"`
+}
+
+// StoreStatusResponse is the persistence ops surface
+// (GET /v1/admin/store). Configured false means brokerd runs without a
+// data dir — purely in-memory, nothing survives a restart — and every
+// other field is absent.
+type StoreStatusResponse struct {
+	Configured bool `json:"configured"`
+	// CheckpointInterval is the background checkpointer period.
+	CheckpointInterval string `json:"checkpoint_interval,omitempty"`
+	// RecoveredStreams counts the streams replayed from the store at boot.
+	RecoveredStreams int `json:"recovered_streams,omitempty"`
+	// LastCheckpoint reports the most recent checkpoint pass.
+	LastCheckpoint *CheckpointStats `json:"last_checkpoint,omitempty"`
+	// Store is the backend's own view: journal/checkpoint sizes, LSNs,
+	// fsync policy, torn-tail repair.
+	Store *StoreStats `json:"store,omitempty"`
+}

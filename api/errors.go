@@ -1,0 +1,70 @@
+package api
+
+import "fmt"
+
+// ErrorCode is a stable, machine-readable error identifier. Codes are
+// part of the wire contract: clients branch on them, so existing values
+// never change meaning within an API version (new codes may be added).
+type ErrorCode string
+
+// Stable error codes.
+const (
+	// CodeInvalidRequest covers malformed bodies and domain validation
+	// failures (bad dimensions, non-finite inputs, unknown families…).
+	CodeInvalidRequest ErrorCode = "invalid_request"
+	// CodeBodyTooLarge is returned with 413 when a request exceeds the
+	// server's body cap.
+	CodeBodyTooLarge ErrorCode = "body_too_large"
+	// CodeNotFound: the request path matches no route at all (contrast
+	// CodeStreamNotFound / CodeMarketNotFound, where the route exists
+	// but the {id} resolves to nothing).
+	CodeNotFound ErrorCode = "not_found"
+	// CodeMethodNotAllowed: the route exists but not for this HTTP
+	// method; the Allow header lists the valid ones.
+	CodeMethodNotAllowed ErrorCode = "method_not_allowed"
+	// CodeStreamNotFound: the {id} names no hosted stream.
+	CodeStreamNotFound ErrorCode = "stream_not_found"
+	// CodeStreamExists: create collided with a live stream ID.
+	CodeStreamExists ErrorCode = "stream_exists"
+	// CodeStreamPending: the operation (delete, snapshot, restore) is
+	// refused while the stream's two-phase round awaits feedback.
+	CodeStreamPending ErrorCode = "stream_pending"
+	// CodeRoundPending: a quote was requested while the previous
+	// two-phase round is still open.
+	CodeRoundPending ErrorCode = "round_pending"
+	// CodeNoRoundPending: observe arrived with no round open.
+	CodeNoRoundPending ErrorCode = "no_round_pending"
+	// CodeFamilyMismatch: a snapshot of one pricing family was restored
+	// into a stream hosting another.
+	CodeFamilyMismatch ErrorCode = "family_mismatch"
+	// CodeMarketNotFound: the {id} names no hosted market.
+	CodeMarketNotFound ErrorCode = "market_not_found"
+	// CodeMarketExists: market create collided with a live market ID.
+	CodeMarketExists ErrorCode = "market_exists"
+	// CodePersistence: the request was valid but the server could not
+	// make the result durable (journal append failed). Retryable.
+	CodePersistence ErrorCode = "persistence_failed"
+	// CodeUnavailable: the requested subsystem is not configured on this
+	// server (e.g. admin checkpoint without -data-dir).
+	CodeUnavailable ErrorCode = "unavailable"
+	// CodeInternal is the fallback for unexpected server failures.
+	CodeInternal ErrorCode = "internal"
+)
+
+// ErrorDetail is the machine-readable error payload: a stable Code to
+// branch on plus a human-oriented Message.
+type ErrorDetail struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// ErrorResponse is the uniform error envelope: every non-2xx response
+// body is {"error":{"code":…,"message":…}}.
+type ErrorResponse struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// Error is a convenience for using a decoded envelope as a Go error.
+func (e ErrorDetail) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}

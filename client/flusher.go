@@ -1,0 +1,193 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"datamarket/api"
+)
+
+// Flusher defaults.
+const (
+	DefaultFlusherMaxBatch = 256
+	DefaultFlusherMaxDelay = 2 * time.Millisecond
+	DefaultFlushTimeout    = 30 * time.Second
+)
+
+// ErrFlusherClosed: Price was called after Close.
+var ErrFlusherClosed = errors.New("client: flusher is closed")
+
+// FlusherConfig tunes the coalescing window.
+type FlusherConfig struct {
+	// MaxBatch flushes as soon as this many rounds are buffered
+	// (default 256). Values above api.MaxBatchRounds are clamped to it —
+	// the server rejects larger batches whole, which would fail every
+	// coalesced caller at once.
+	MaxBatch int
+	// MaxDelay bounds how long the first round of a batch waits for
+	// company before the batch flushes anyway (default 2ms) — the
+	// latency cost a caller pays for batching under low concurrency.
+	MaxDelay time.Duration
+	// FlushTimeout bounds one flush's HTTP exchange (default 30s). A
+	// batch aggregates many callers, so it cannot ride any single
+	// caller's context.
+	FlushTimeout time.Duration
+}
+
+// Flusher coalesces concurrent Price calls into multi-stream batch
+// requests. Callers use it exactly like Client.Price — one call, one
+// result — while the wire sees /v1/price/batch requests carrying up to
+// MaxBatch rounds: the per-request JSON/dispatch overhead that
+// dominates per-round HTTP serving is amortized transparently.
+//
+// A batch flushes when it reaches MaxBatch rounds or when its oldest
+// round has waited MaxDelay, whichever comes first. Rounds for the same
+// stream keep their submission order within a batch (the server prices
+// a stream's rounds in request order).
+type Flusher struct {
+	c   *Client
+	cfg FlusherConfig
+
+	mu     sync.Mutex
+	buf    []*flushCall
+	timer  *time.Timer
+	closed bool
+}
+
+// flushCall is one caller's round: its wire form plus the channel the
+// caller blocks on.
+type flushCall struct {
+	round api.MultiBatchRound
+	done  chan struct{}
+	res   api.BatchRoundResult
+	err   error
+}
+
+// NewFlusher builds a Flusher over the client. Close it when done to
+// flush stragglers.
+func NewFlusher(c *Client, cfg FlusherConfig) *Flusher {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultFlusherMaxBatch
+	}
+	if cfg.MaxBatch > api.MaxBatchRounds {
+		cfg.MaxBatch = api.MaxBatchRounds
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = DefaultFlusherMaxDelay
+	}
+	if cfg.FlushTimeout <= 0 {
+		cfg.FlushTimeout = DefaultFlushTimeout
+	}
+	return &Flusher{c: c, cfg: cfg}
+}
+
+// Price prices one full round on the stream, riding whatever batch is
+// forming. It blocks until the round's batch has flushed (at most
+// MaxDelay of coalescing plus one HTTP exchange) or ctx is done.
+//
+// A ctx expiry abandons only the wait: the round is already committed
+// to its batch and will still price on the server — like any pricing
+// call that times out mid-flight, the mechanism may consume the round.
+func (f *Flusher) Price(ctx context.Context, streamID string, features []float64, reserve, valuation float64) (api.PriceResponse, error) {
+	call := &flushCall{
+		round: api.MultiBatchRound{
+			StreamID:  streamID,
+			Features:  features,
+			Reserve:   reserve,
+			Valuation: &valuation,
+		},
+		done: make(chan struct{}),
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return api.PriceResponse{}, ErrFlusherClosed
+	}
+	f.buf = append(f.buf, call)
+	var batch []*flushCall
+	switch {
+	case len(f.buf) >= f.cfg.MaxBatch:
+		batch = f.take()
+	case len(f.buf) == 1:
+		f.timer = time.AfterFunc(f.cfg.MaxDelay, f.flushExpired)
+	}
+	f.mu.Unlock()
+
+	if batch != nil {
+		f.flush(batch)
+	}
+	select {
+	case <-call.done:
+	case <-ctx.Done():
+		return api.PriceResponse{}, ctx.Err()
+	}
+	if call.err != nil {
+		return api.PriceResponse{}, call.err
+	}
+	if call.res.Error != "" {
+		return api.PriceResponse{}, fmt.Errorf("client: round failed: %s", call.res.Error)
+	}
+	return call.res.PriceResponse, nil
+}
+
+// take detaches the current buffer and disarms the delay timer. Callers
+// hold f.mu.
+func (f *Flusher) take() []*flushCall {
+	batch := f.buf
+	f.buf = nil
+	if f.timer != nil {
+		f.timer.Stop()
+		f.timer = nil
+	}
+	return batch
+}
+
+// flushExpired is the MaxDelay timer's path: flush whatever has
+// accumulated.
+func (f *Flusher) flushExpired() {
+	f.mu.Lock()
+	batch := f.take()
+	f.mu.Unlock()
+	if len(batch) > 0 {
+		f.flush(batch)
+	}
+}
+
+// flush sends one batch and routes each result (or the batch-wide
+// error) to its caller.
+func (f *Flusher) flush(batch []*flushCall) {
+	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.FlushTimeout)
+	defer cancel()
+	rounds := make([]api.MultiBatchRound, len(batch))
+	for i, call := range batch {
+		rounds[i] = call.round
+	}
+	results, err := f.c.PriceMulti(ctx, rounds)
+	for i, call := range batch {
+		switch {
+		case err != nil:
+			call.err = err
+		case i < len(results):
+			call.res = results[i]
+		default:
+			call.err = fmt.Errorf("client: batch response has %d results for %d rounds",
+				len(results), len(batch))
+		}
+		close(call.done)
+	}
+}
+
+// Close flushes any buffered rounds and rejects future Price calls.
+// In-flight callers still receive their results.
+func (f *Flusher) Close() {
+	f.mu.Lock()
+	f.closed = true
+	batch := f.take()
+	f.mu.Unlock()
+	if len(batch) > 0 {
+		f.flush(batch)
+	}
+}

@@ -1,0 +1,156 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"datamarket/api"
+)
+
+// Two-phase round errors (client-side protocol enforcement).
+var (
+	// ErrRoundPending: Quote was called on a stream whose previous
+	// QuoteSession from this client has not been observed yet. The
+	// server would answer 409; the SDK refuses before the wire.
+	ErrRoundPending = errors.New("client: stream has a quote pending feedback; observe it first")
+	// ErrRoundClosed: Observe was called on a session that is already
+	// resolved (observed, or skipped by the mechanism).
+	ErrRoundClosed = errors.New("client: round already resolved")
+)
+
+// QuoteSession is one two-phase pricing round: phase one posted the
+// price (Quote), phase two reports the buyer's decision (Observe). The
+// mechanism — and this client — will not open another round on the same
+// stream until the session is observed, the protocol the paper's
+// Algorithm 1 requires: every posted price must receive its feedback
+// before the next query is priced.
+//
+// A session is safe for concurrent use, though one goroutine observing
+// it is the natural shape.
+type QuoteSession struct {
+	c      *Client
+	stream string
+	// Quote is the posted price for the round.
+	Quote api.PriceResponse
+
+	once sync.Once
+	done chan struct{} // closed when the session resolves
+}
+
+// Quote opens a two-phase round on the stream: the price in the
+// returned session is live until Observe reports the buyer's decision.
+// (POST /v1/streams/{id}/quote)
+//
+// The one-pending-round rule is enforced client-side per stream: a
+// second Quote before the first session's Observe fails immediately
+// with ErrRoundPending, without a wire round trip. (Other clients of
+// the same server can still race this client to the stream; the server
+// remains the authority and answers 409 round_pending in that case.)
+//
+// A round the mechanism skipped (decision "skip") needs no feedback:
+// the session is returned already resolved and only documents the skip.
+//
+// A transport failure is ambiguous — the server may or may not have
+// opened the round. The SDK resolves it by sending a best-effort
+// "rejected" observation: if the round had opened, an unanswered offer
+// is a rejection; if not, the server answers no_round_pending. Either
+// way the stream's state is known again and the original error is
+// returned with a nil session. Only when that cleanup itself fails on
+// transport does Quote return the still-pending session alongside the
+// error: Observe it (any decision) once the server is reachable — or
+// the next Quote on the stream fails with ErrRoundPending.
+func (c *Client) Quote(ctx context.Context, id string, features []float64, reserve float64) (*QuoteSession, error) {
+	s := &QuoteSession{c: c, stream: id, done: make(chan struct{})}
+	c.pendingMu.Lock()
+	if _, busy := c.pending[id]; busy {
+		c.pendingMu.Unlock()
+		return nil, fmt.Errorf("%w (stream %q)", ErrRoundPending, id)
+	}
+	c.pending[id] = s
+	c.pendingMu.Unlock()
+
+	err := c.do(ctx, http.MethodPost, "/v1/streams/"+escape(id)+"/quote",
+		api.QuoteRequest{Features: features, Reserve: reserve}, &s.Quote, false)
+	if err != nil {
+		var ae *APIError
+		if errors.As(err, &ae) || errors.Is(err, ErrIncompatibleAPI) {
+			// Definitive: the server refused (or was never asked); no
+			// round opened.
+			c.release(s)
+			return nil, err
+		}
+		// Ambiguous transport failure; try to close any half-opened
+		// round. The caller's ctx may already be dead, so the cleanup
+		// gets its own short deadline.
+		cctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		cleanupErr := c.do(cctx, http.MethodPost, "/v1/streams/"+escape(id)+"/observe",
+			api.ObserveRequest{Accepted: false}, nil, false)
+		if cleanupErr == nil || errors.As(cleanupErr, &ae) {
+			c.release(s)
+			return nil, err
+		}
+		return s, fmt.Errorf("client: quote failed and the round may be open server-side (observe the returned session to recover): %w", err)
+	}
+	if s.Quote.Decision == "skip" {
+		// No round is pending server-side; nothing to observe.
+		c.release(s)
+	}
+	return s, nil
+}
+
+// Observe closes the round with the buyer's decision.
+// (POST /v1/streams/{id}/observe)
+//
+// On success — and on any definitive server response — the session
+// resolves and the stream accepts new quotes from this client. Only a
+// transport failure (the server may or may not have seen the feedback)
+// leaves the session open for a retry.
+func (s *QuoteSession) Observe(ctx context.Context, accepted bool) error {
+	select {
+	case <-s.done:
+		return fmt.Errorf("%w (stream %q)", ErrRoundClosed, s.stream)
+	default:
+	}
+	err := s.c.do(ctx, http.MethodPost, "/v1/streams/"+escape(s.stream)+"/observe",
+		api.ObserveRequest{Accepted: accepted}, nil, false)
+	if err == nil {
+		s.c.release(s)
+		return nil
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		// The server answered: whatever it said, the round's fate is
+		// decided (e.g. no_round_pending after a force-restore).
+		s.c.release(s)
+	}
+	return err
+}
+
+// Pending reports whether the session still awaits Observe.
+func (s *QuoteSession) Pending() bool {
+	select {
+	case <-s.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// release resolves a session and frees its stream's pending slot, if
+// this session still holds it. Idempotent: concurrent resolutions (two
+// racing Observes) collapse into one.
+func (c *Client) release(s *QuoteSession) {
+	s.once.Do(func() {
+		c.pendingMu.Lock()
+		if c.pending[s.stream] == s {
+			delete(c.pending, s.stream)
+		}
+		c.pendingMu.Unlock()
+		close(s.done)
+	})
+}

@@ -1,0 +1,325 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"datamarket/api"
+	"datamarket/internal/server"
+)
+
+// TestQuoteSessionProtocol drives the two-phase loop through the SDK
+// and asserts the one-pending-round rule is enforced client-side, before
+// any wire traffic.
+func TestQuoteSessionProtocol(t *testing.T) {
+	_, c := newBroker(t)
+	ctx := context.Background()
+	if _, err := c.CreateStream(ctx, api.CreateStreamRequest{ID: "s", Dim: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	s1, err := c.Quote(ctx, "s", []float64{0.3, 0.4}, -100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Pending() {
+		t.Fatal("fresh session not pending")
+	}
+	if s1.Quote.Decision == "skip" {
+		t.Fatalf("unexpected skip: %+v", s1.Quote)
+	}
+
+	// A second quote on the same stream fails fast, client-side.
+	if _, err := c.Quote(ctx, "s", []float64{0.1, 0.2}, -100); !errors.Is(err, ErrRoundPending) {
+		t.Fatalf("second quote: %v, want ErrRoundPending", err)
+	}
+	// Another stream is unaffected.
+	if _, err := c.CreateStream(ctx, api.CreateStreamRequest{ID: "other", Dim: 2}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Quote(ctx, "other", []float64{0.3, 0.4}, -100)
+	if err != nil {
+		t.Fatalf("quote on independent stream: %v", err)
+	}
+	if err := s2.Observe(ctx, false); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s1.Observe(ctx, true); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Pending() {
+		t.Fatal("observed session still pending")
+	}
+	// Observing twice is a client-side error.
+	if err := s1.Observe(ctx, true); !errors.Is(err, ErrRoundClosed) {
+		t.Fatalf("double observe: %v, want ErrRoundClosed", err)
+	}
+	// The stream accepts a new round now.
+	s3, err := c.Quote(ctx, "s", []float64{0.5, 0.1}, -100)
+	if err != nil {
+		t.Fatalf("quote after observe: %v", err)
+	}
+	if err := s3.Observe(ctx, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuoteSessionSkip: a skipped round needs no feedback and frees the
+// stream immediately.
+func TestQuoteSessionSkip(t *testing.T) {
+	_, c := newBroker(t)
+	ctx := context.Background()
+	if _, err := c.CreateStream(ctx, api.CreateStreamRequest{ID: "s", Dim: 2, Reserve: true}); err != nil {
+		t.Fatal(err)
+	}
+	// An absurd reserve forces the certain-no-deal skip path.
+	s, err := c.Quote(ctx, "s", []float64{0.3, 0.4}, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Quote.Decision != "skip" {
+		t.Fatalf("decision %q, want skip", s.Quote.Decision)
+	}
+	if s.Pending() {
+		t.Fatal("skipped session reports pending")
+	}
+	if err := s.Observe(ctx, false); !errors.Is(err, ErrRoundClosed) {
+		t.Fatalf("observe on skip: %v, want ErrRoundClosed", err)
+	}
+	// The stream is free for the next round.
+	if _, err := c.Quote(ctx, "s", []float64{0.3, 0.4}, -100); err != nil {
+		t.Fatalf("quote after skip: %v", err)
+	}
+}
+
+// countingHandler wraps a handler and counts requests per path.
+type countingHandler struct {
+	inner http.Handler
+	mu    sync.Mutex
+	paths map[string]int
+}
+
+func (h *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	h.paths[r.URL.Path]++
+	h.mu.Unlock()
+	h.inner.ServeHTTP(w, r)
+}
+
+func (h *countingHandler) count(path string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.paths[path]
+}
+
+// TestFlusherCoalesces: N concurrent Price calls whose batch threshold
+// is N must land as exactly one /v1/price/batch request, with each
+// caller receiving its own round's result.
+func TestFlusherCoalesces(t *testing.T) {
+	const n = 16
+	// Deterministic stub: price = sum(features); accepted = valuation ≥ price.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(api.VersionResponse{API: api.APIVersion, Server: "stub", GoVersion: "stub"})
+	})
+	mux.HandleFunc("POST /v1/price/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req api.MultiBatchPriceRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Error(err)
+		}
+		resp := api.BatchPriceResponse{Results: make([]api.BatchRoundResult, len(req.Rounds))}
+		for i, rd := range req.Rounds {
+			var price float64
+			for _, f := range rd.Features {
+				price += f
+			}
+			acc := *rd.Valuation >= price
+			resp.Results[i] = api.BatchRoundResult{PriceResponse: api.PriceResponse{
+				Price: price, Decision: "exploratory", Accepted: &acc,
+			}}
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+	counter := &countingHandler{inner: mux, paths: make(map[string]int)}
+	ts := httptest.NewServer(counter)
+	defer ts.Close()
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// MaxDelay is far beyond the test's runtime: only the MaxBatch
+	// trigger can flush, so all n calls must share one request.
+	f := NewFlusher(c, FlusherConfig{MaxBatch: n, MaxDelay: time.Hour})
+	defer f.Close()
+
+	var wg sync.WaitGroup
+	var failures atomic.Int32
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			want := float64(i) + 0.5
+			resp, err := f.Price(context.Background(), "s", []float64{float64(i), 0.5}, 0, 1e9)
+			if err != nil || resp.Price != want || resp.Accepted == nil || !*resp.Accepted {
+				t.Errorf("call %d: resp %+v err %v, want price %g", i, resp, err, want)
+				failures.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.FailNow()
+	}
+	if got := counter.count("/v1/price/batch"); got != 1 {
+		t.Fatalf("%d batch requests for %d coalesced calls, want 1", got, n)
+	}
+}
+
+// TestFlusherTimerFlush: under low concurrency the MaxDelay timer
+// flushes a partial batch; nobody hangs waiting for company.
+func TestFlusherTimerFlush(t *testing.T) {
+	_, c := newBroker(t)
+	ctx := context.Background()
+	if _, err := c.CreateStream(ctx, api.CreateStreamRequest{ID: "s", Dim: 2}); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFlusher(c, FlusherConfig{MaxBatch: 1024, MaxDelay: 5 * time.Millisecond})
+	defer f.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := f.Price(ctx, "s", []float64{0.3, 0.4}, -100, 1e9); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("single flusher call never flushed")
+	}
+}
+
+// TestFlusherAgainstBroker prices a real workload through the Flusher
+// against brokerd and checks every round landed: the stream's counters
+// account for all calls.
+func TestFlusherAgainstBroker(t *testing.T) {
+	const calls = 96
+	_, c := newBroker(t)
+	ctx := context.Background()
+	if _, err := c.CreateStream(ctx, api.CreateStreamRequest{ID: "s", Dim: 2, Horizon: calls}); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFlusher(c, FlusherConfig{MaxBatch: 16, MaxDelay: time.Millisecond})
+	var wg sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			x := []float64{0.1 + float64(i%7)/10, 0.2 + float64(i%5)/10}
+			if _, err := f.Price(ctx, "s", x, -100, 1e9); err != nil {
+				t.Errorf("call %d: %v", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	f.Close()
+	stats, err := c.Stats(ctx, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Counters.Rounds != calls {
+		t.Fatalf("mechanism saw %d rounds, want %d", stats.Counters.Rounds, calls)
+	}
+	if stats.Regret.Rounds != calls {
+		t.Fatalf("tracker saw %d rounds, want %d", stats.Regret.Rounds, calls)
+	}
+}
+
+// TestQuoteTransportRecovery: when the quote response is lost after the
+// server opened the round, the SDK's cleanup observation closes the
+// half-open round, so the stream stays usable instead of wedging on 409
+// round_pending forever.
+func TestQuoteTransportRecovery(t *testing.T) {
+	srv := server.NewServer(nil)
+	inner := srv.Handler()
+	var dropNext atomic.Bool
+	proxy := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if dropNext.CompareAndSwap(true, false) {
+			// Let the server process the quote, then lose the response.
+			rec := httptest.NewRecorder()
+			inner.ServeHTTP(rec, r)
+			if rec.Code != http.StatusOK {
+				t.Errorf("inner quote status %d", rec.Code)
+			}
+			hj, _ := w.(http.Hijacker)
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			conn.Close()
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(proxy)
+	defer ts.Close()
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := c.CreateStream(ctx, api.CreateStreamRequest{ID: "s", Dim: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	dropNext.Store(true)
+	s, err := c.Quote(ctx, "s", []float64{0.3, 0.4}, -100)
+	if err == nil {
+		t.Fatal("quote with dropped response reported success")
+	}
+	if s != nil {
+		t.Fatalf("cleanup reached the server, session should be nil (err %v)", err)
+	}
+	// The round the server opened was closed by the cleanup observation;
+	// the stream accepts a fresh quote from this client.
+	s2, err := c.Quote(ctx, "s", []float64{0.5, 0.1}, -100)
+	if err != nil {
+		t.Fatalf("stream wedged after transport failure: %v", err)
+	}
+	if err := s2.Observe(ctx, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlusherClampsMaxBatch: a MaxBatch beyond the server's wire limit
+// is clamped instead of dooming every coalesced caller to a 400.
+func TestFlusherClampsMaxBatch(t *testing.T) {
+	_, c := newBroker(t)
+	f := NewFlusher(c, FlusherConfig{MaxBatch: api.MaxBatchRounds * 2})
+	defer f.Close()
+	if f.cfg.MaxBatch != api.MaxBatchRounds {
+		t.Fatalf("MaxBatch %d, want clamped to %d", f.cfg.MaxBatch, api.MaxBatchRounds)
+	}
+}
+
+// TestFlusherClosed: Price after Close fails fast.
+func TestFlusherClosed(t *testing.T) {
+	_, c := newBroker(t)
+	f := NewFlusher(c, FlusherConfig{})
+	f.Close()
+	if _, err := f.Price(context.Background(), "s", []float64{1}, 0, 1); !errors.Is(err, ErrFlusherClosed) {
+		t.Fatalf("err = %v, want ErrFlusherClosed", err)
+	}
+}

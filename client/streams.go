@@ -1,0 +1,123 @@
+package client
+
+import (
+	"context"
+	"net/http"
+
+	"datamarket/api"
+)
+
+// Stream lifecycle, pricing, snapshot, and admin calls — one method per
+// endpoint, speaking the api package's types verbatim.
+
+// CreateStream registers a new pricing stream. (POST /v1/streams)
+func (c *Client) CreateStream(ctx context.Context, req api.CreateStreamRequest) (api.StreamInfo, error) {
+	var info api.StreamInfo
+	err := c.do(ctx, http.MethodPost, "/v1/streams", req, &info, false)
+	return info, err
+}
+
+// ListStreams enumerates the hosted streams. (GET /v1/streams)
+func (c *Client) ListStreams(ctx context.Context) ([]api.StreamInfo, error) {
+	var resp api.ListStreamsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/streams", nil, &resp, true)
+	return resp.Streams, err
+}
+
+// Stream describes one hosted stream. (GET /v1/streams/{id})
+func (c *Client) Stream(ctx context.Context, id string) (api.StreamInfo, error) {
+	var info api.StreamInfo
+	err := c.do(ctx, http.MethodGet, "/v1/streams/"+escape(id), nil, &info, true)
+	return info, err
+}
+
+// DeleteStream removes a stream. With force, a pending two-phase round
+// is discarded instead of answering 409. (DELETE /v1/streams/{id})
+func (c *Client) DeleteStream(ctx context.Context, id string, force bool) error {
+	path := "/v1/streams/" + escape(id)
+	if force {
+		path += "?force=true"
+	}
+	return c.do(ctx, http.MethodDelete, path, nil, nil, true)
+}
+
+// Price runs one full round atomically against the buyer valuation: the
+// server posts a price, accepts iff price ≤ valuation, and feeds the
+// outcome back to the mechanism. (POST /v1/streams/{id}/price)
+//
+// Pricing mutates mechanism state, so Price is never retried; use a
+// Flusher to amortize HTTP overhead across concurrent calls.
+func (c *Client) Price(ctx context.Context, id string, features []float64, reserve, valuation float64) (api.PriceResponse, error) {
+	var resp api.PriceResponse
+	err := c.do(ctx, http.MethodPost, "/v1/streams/"+escape(id)+"/price",
+		api.PriceRequest{Features: features, Reserve: reserve, Valuation: &valuation},
+		&resp, false)
+	return resp, err
+}
+
+// PriceBatch prices k rounds on one stream under a single stream-lock
+// acquisition. Results align index-for-index with rounds.
+// (POST /v1/streams/{id}/price/batch)
+func (c *Client) PriceBatch(ctx context.Context, id string, rounds []api.BatchPriceRound) ([]api.BatchRoundResult, error) {
+	var resp api.BatchPriceResponse
+	err := c.do(ctx, http.MethodPost, "/v1/streams/"+escape(id)+"/price/batch",
+		api.BatchPriceRequest{Rounds: rounds}, &resp, false)
+	return resp.Results, err
+}
+
+// PriceMulti prices rounds across many streams in one request; the
+// Flusher is the usual caller. (POST /v1/price/batch)
+func (c *Client) PriceMulti(ctx context.Context, rounds []api.MultiBatchRound) ([]api.BatchRoundResult, error) {
+	var resp api.BatchPriceResponse
+	err := c.do(ctx, http.MethodPost, "/v1/price/batch",
+		api.MultiBatchPriceRequest{Rounds: rounds}, &resp, false)
+	return resp.Results, err
+}
+
+// Snapshot captures the stream's family-tagged state envelope.
+// (GET /v1/streams/{id}/snapshot)
+func (c *Client) Snapshot(ctx context.Context, id string) (*api.Envelope, error) {
+	var env api.Envelope
+	err := c.do(ctx, http.MethodGet, "/v1/streams/"+escape(id)+"/snapshot", nil, &env, true)
+	if err != nil {
+		return nil, err
+	}
+	return &env, nil
+}
+
+// Restore replays a snapshot envelope into the stream with the given ID,
+// creating it if absent. Restoring to an absolute state is idempotent,
+// so it retries like a read. (POST /v1/streams/{id}/restore)
+func (c *Client) Restore(ctx context.Context, id string, env *api.Envelope) (api.StreamInfo, error) {
+	var info api.StreamInfo
+	err := c.do(ctx, http.MethodPost, "/v1/streams/"+escape(id)+"/restore", env, &info, true)
+	return info, err
+}
+
+// Stats reports the stream's mechanism counters and regret bookkeeping.
+// (GET /v1/streams/{id}/stats)
+func (c *Client) Stats(ctx context.Context, id string) (api.StatsResponse, error) {
+	var resp api.StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/streams/"+escape(id)+"/stats", nil, &resp, true)
+	return resp, err
+}
+
+// Checkpoint runs a synchronous persistence checkpoint pass, optionally
+// compacting the journal afterwards. (POST /v1/admin/checkpoint)
+func (c *Client) Checkpoint(ctx context.Context, compact bool) (api.CheckpointResponse, error) {
+	path := "/v1/admin/checkpoint"
+	if compact {
+		path += "?compact=true"
+	}
+	var resp api.CheckpointResponse
+	err := c.do(ctx, http.MethodPost, path, nil, &resp, true)
+	return resp, err
+}
+
+// StoreStatus reports the persistence subsystem's observable state.
+// (GET /v1/admin/store)
+func (c *Client) StoreStatus(ctx context.Context) (api.StoreStatusResponse, error) {
+	var resp api.StoreStatusResponse
+	err := c.do(ctx, http.MethodGet, "/v1/admin/store", nil, &resp, true)
+	return resp, err
+}

@@ -18,8 +18,15 @@
 //	brokerd -addr :8080 -data-dir /var/lib/brokerd \
 //	        -checkpoint-interval 5s -fsync interval
 //
+// The wire contract is the public datamarket/api package and is
+// versioned: GET /v1/version reports it, every non-2xx response carries
+// the {"error":{"code","message"}} envelope, and the official Go SDK in
+// datamarket/client wraps the whole surface (connection pooling,
+// retries with backoff, auto-batching, two-phase sessions).
+//
 // Quickstart:
 //
+//	curl localhost:8080/v1/version
 //	curl -X POST localhost:8080/v1/streams \
 //	     -d '{"id":"segment-a","dim":5,"reserve":true,"horizon":10000}'
 //	curl -X POST localhost:8080/v1/streams/segment-a/price \
@@ -29,6 +36,19 @@
 //	curl -X POST localhost:8080/v1/streams/segment-a/restore -d @segment-a.json
 //	curl -X POST localhost:8080/v1/admin/checkpoint?compact=true
 //	curl localhost:8080/v1/admin/store
+//
+// Hosted markets run the paper's full owner/compensation/settlement
+// loop behind the same edge:
+//
+//	curl -X POST localhost:8080/v1/markets -d '{
+//	  "id":"m","owners":[
+//	    {"value":3.5,"range":4,"contract":{"type":"tanh","rho":1,"eta":10}},
+//	    {"value":2.0,"range":4,"contract":{"type":"tanh","rho":1,"eta":10}}]}'
+//	curl -X POST localhost:8080/v1/markets/m/trade \
+//	     -d '{"weights":[1,0.5],"noise_variance":2,"valuation":1.2}'
+//	curl localhost:8080/v1/markets/m/ledger
+//	curl localhost:8080/v1/markets/m/payouts
+//	curl localhost:8080/v1/markets/m/stats
 //
 // Non-linear families ride the same endpoints; only create changes:
 //
@@ -56,6 +76,7 @@ import (
 	"syscall"
 	"time"
 
+	"datamarket/api"
 	"datamarket/internal/server"
 	"datamarket/internal/store"
 )
@@ -119,7 +140,8 @@ func run(addr string, shards int, dataDir string, ckptIvl time.Duration, fsync s
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("brokerd listening on %s (%d shards)", addr, shards)
+		log.Printf("brokerd %s (API %s) listening on %s (%d shards)",
+			server.Version, api.APIVersion, addr, shards)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

@@ -1,22 +1,27 @@
-// Quickstart: serve a kernelized pricing stream with brokerd.
+// Quickstart: drive brokerd through the official Go client SDK.
 //
-// A stream is a *family* plus a *model config*, not a concrete mechanism:
-// this demo stands up the brokerd HTTP server in-process, creates a
-// nonlinear stream whose market value model is a landmark RBF kernel
-// machine (§IV-A's kernelized model with a fixed landmark budget), prices
-// thousands of rounds through the batch endpoint, and finishes with the
-// family-tagged snapshot/restore loop a crash recovery would use.
+// A stream is a *family* plus a *model config*, not a concrete
+// mechanism: this demo stands up the brokerd HTTP server in-process,
+// creates a nonlinear stream whose market value model is a landmark RBF
+// kernel machine (§IV-A's kernelized model with a fixed landmark
+// budget), prices thousands of rounds through the SDK's batch call and
+// its auto-batching Flusher, runs one two-phase round through a
+// QuoteSession, and finishes with the family-tagged snapshot/restore
+// loop a crash recovery would use. Every byte on the wire goes through
+// datamarket/client — no hand-rolled HTTP.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
 	"math"
 	"net"
 	"net/http"
+	"sync"
 
 	"datamarket"
+	"datamarket/api"
+	"datamarket/client"
 	"datamarket/internal/kernel"
 	"datamarket/internal/randx"
 	"datamarket/internal/server"
@@ -31,6 +36,8 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Landmarks on a 3×3 grid over the feature square: the public part of
 	// the kernelized model. Only the weights over K(x, lⱼ) are learned.
 	var landmarks [][]float64
@@ -57,23 +64,30 @@ func main() {
 		return v
 	}
 
-	// Start brokerd's server on a loopback listener.
+	// Start brokerd's server on a loopback listener and connect the SDK.
+	// The client verifies API compatibility (GET /v1/version) on first
+	// use, pools connections, and retries idempotent calls with backoff.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	check(err)
 	go http.Serve(ln, server.NewServer(nil).Handler())
-	base := "http://" + ln.Addr().String()
+	c, err := client.New("http://" + ln.Addr().String())
+	check(err)
+	v, err := c.ServerVersion(ctx)
+	check(err)
+	fmt.Printf("connected: API %s, brokerd %s (%s)\n", v.API, v.Server, v.GoVersion)
 
 	// Create the kernelized stream: family "nonlinear", identity link,
 	// landmark map over the RBF kernel.
-	post(base+"/v1/streams", server.CreateStreamRequest{
+	_, err = c.CreateStream(ctx, api.CreateStreamRequest{
 		ID: "kernelized", Family: "nonlinear", Dim: dim,
 		Reserve: true, Threshold: threshold,
-		Model: &datamarket.ModelConfig{
+		Model: &api.ModelConfig{
 			Map:       "landmark",
-			Kernel:    &datamarket.KernelConfig{Type: "rbf", Gamma: gamma},
+			Kernel:    &api.KernelConfig{Type: "rbf", Gamma: gamma},
 			Landmarks: landmarks,
 		},
-	}, nil)
+	})
+	check(err)
 
 	// Price in batches: each round a query arrives with features in the
 	// unit square, a seller-imposed reserve below its market value, and a
@@ -81,17 +95,15 @@ func main() {
 	var revenue float64
 	var accepts int
 	for b := 0; b < batches; b++ {
-		req := server.BatchPriceRequest{Rounds: make([]server.BatchPriceRound, batchSize)}
-		for i := range req.Rounds {
+		rounds := make([]api.BatchPriceRound, batchSize)
+		for i := range rounds {
 			x := rng.UniformVector(dim, 0, 1)
 			v := value(x)
-			req.Rounds[i] = server.BatchPriceRound{
-				Features: x, Reserve: 0.75 * v, Valuation: &v,
-			}
+			rounds[i] = api.BatchPriceRound{Features: x, Reserve: 0.75 * v, Valuation: &v}
 		}
-		var resp server.BatchPriceResponse
-		post(base+"/v1/streams/kernelized/price/batch", req, &resp)
-		for _, res := range resp.Results {
+		results, err := c.PriceBatch(ctx, "kernelized", rounds)
+		check(err)
+		for _, res := range results {
 			if res.Error != "" {
 				panic(res.Error)
 			}
@@ -106,8 +118,37 @@ func main() {
 		}
 	}
 
-	var stats server.StatsResponse
-	get(base+"/v1/streams/kernelized/stats", &stats)
+	// The Flusher gives independent concurrent callers the same batching
+	// transparently: each goroutine makes one Price call, the SDK
+	// coalesces them into /v1/price/batch requests behind the scenes.
+	fl := client.NewFlusher(c, client.FlusherConfig{MaxBatch: 64})
+	var wg sync.WaitGroup
+	for i := 0; i < 128; i++ {
+		wg.Add(1)
+		x := rng.UniformVector(dim, 0, 1)
+		go func() {
+			defer wg.Done()
+			v := value(x)
+			if _, err := fl.Price(ctx, "kernelized", x, 0.75*v, v); err != nil {
+				panic(err)
+			}
+		}()
+	}
+	wg.Wait()
+	fl.Close()
+	fmt.Println("flusher: 128 concurrent Price calls coalesced into batch requests")
+
+	// A two-phase round: quote now, report the buyer's decision later.
+	// The session enforces one pending round per stream client-side.
+	probe0 := rng.UniformVector(dim, 0, 1)
+	session, err := c.Quote(ctx, "kernelized", probe0, 0.5*value(probe0))
+	check(err)
+	check(session.Observe(ctx, datamarket.Sold(session.Quote.Price, value(probe0))))
+	fmt.Printf("two-phase round: posted %.4f (%s), observed\n",
+		session.Quote.Price, session.Quote.Decision)
+
+	stats, err := c.Stats(ctx, "kernelized")
+	check(err)
 	fmt.Printf("\nfamily %q: %d exploratory / %d conservative rounds, %d cuts, regret ratio %.2f%%\n",
 		stats.Family, stats.Counters.Exploratory, stats.Counters.Conservative,
 		stats.Counters.CutsApplied, 100*stats.Regret.RegretRatio)
@@ -115,46 +156,18 @@ func main() {
 	// Crash recovery: the snapshot is a family-tagged envelope; restoring
 	// it under a fresh ID rebuilds the same kernel machine, and the two
 	// streams agree exactly on the next quote.
-	var env datamarket.Envelope
-	get(base+"/v1/streams/kernelized/snapshot", &env)
-	post(base+"/v1/streams/recovered/restore", &env, nil)
+	env, err := c.Snapshot(ctx, "kernelized")
+	check(err)
+	_, err = c.Restore(ctx, "recovered", env)
+	check(err)
 	probe := datamarket.Vector{0.4, 0.6}
-	v := value(probe)
-	var qa, qb server.PriceResponse
-	post(base+"/v1/streams/kernelized/price",
-		server.PriceRequest{Features: probe, Reserve: 0.75 * v, Valuation: &v}, &qa)
-	post(base+"/v1/streams/recovered/price",
-		server.PriceRequest{Features: probe, Reserve: 0.75 * v, Valuation: &v}, &qb)
+	pv := value(probe)
+	qa, err := c.Price(ctx, "kernelized", probe, 0.75*pv, pv)
+	check(err)
+	qb, err := c.Price(ctx, "recovered", probe, 0.75*pv, pv)
+	check(err)
 	fmt.Printf("snapshot family %q restored: original posts %.4f, recovered posts %.4f (truth %.4f)\n",
-		env.Family, qa.Price, qb.Price, v)
-}
-
-// post sends a JSON request and decodes the response into out (when
-// non-nil), panicking on any non-2xx status.
-func post(url string, body, out any) {
-	data, err := json.Marshal(body)
-	check(err)
-	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
-	check(err)
-	decode(resp, out)
-}
-
-func get(url string, out any) {
-	resp, err := http.Get(url)
-	check(err)
-	decode(resp, out)
-}
-
-func decode(resp *http.Response, out any) {
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		var e server.ErrorResponse
-		json.NewDecoder(resp.Body).Decode(&e)
-		panic(fmt.Sprintf("status %d: %s", resp.StatusCode, e.Error))
-	}
-	if out != nil {
-		check(json.NewDecoder(resp.Body).Decode(out))
-	}
+		env.Family, qa.Price, qb.Price, pv)
 }
 
 func check(err error) {

@@ -75,12 +75,18 @@ type Broker struct {
 	mech       pricing.Poster
 	featureDim int
 
-	mu      sync.Mutex // guards rng, ledger, tracker, ownerPayout
+	mu      sync.Mutex // guards rng, ledger, tracker, ownerPayout, totals
 	rng     *randx.RNG
 	ledger  []Transaction
 	tracker *pricing.Tracker
 
 	ownerPayout linalg.Vector // cumulative compensation per owner
+
+	// Running totals, maintained in settle so Stats and the profit/
+	// revenue accessors are O(1) regardless of ledger length.
+	sold            int
+	totRevenue      float64
+	totCompensation float64
 }
 
 // Config configures a Broker.
@@ -239,53 +245,70 @@ func (b *Broker) Trade(query Query) (Transaction, error) {
 // so skipping them would leave the books permanently behind the
 // mechanism state.
 func (b *Broker) TradeBatch(queries []Query) ([]Transaction, error) {
+	out := b.TradeBatchOutcomes(queries)
+	txs := make([]Transaction, 0, len(out))
+	var errs []error
+	for i, o := range out {
+		if o.Err != nil {
+			errs = append(errs, fmt.Errorf("market: query %d: %w", i, o.Err))
+			continue
+		}
+		txs = append(txs, o.Tx)
+	}
+	return txs, errors.Join(errs...)
+}
+
+// TradeOutcome is one query's result from TradeBatchOutcomes: the
+// settled transaction, or the error that stopped it (prepare, pricing,
+// or settlement).
+type TradeOutcome struct {
+	Tx  Transaction
+	Err error
+}
+
+// TradeBatchOutcomes executes len(queries) full rounds and reports them
+// index-for-index — the form serving layers need to answer each request
+// slot of a wire batch. TradeBatch is this with the failures joined.
+func (b *Broker) TradeBatchOutcomes(queries []Query) []TradeOutcome {
+	out := make([]TradeOutcome, len(queries))
 	bp, ok := b.mech.(pricing.BatchRoundPoster)
 	if !ok {
-		txs := make([]Transaction, 0, len(queries))
-		var errs []error
 		for i, q := range queries {
-			tx, err := b.Trade(q)
-			if err != nil {
-				errs = append(errs, fmt.Errorf("market: query %d: %w", i, err))
-				continue
-			}
-			txs = append(txs, tx)
+			out[i].Tx, out[i].Err = b.Trade(q)
 		}
-		return txs, errors.Join(errs...)
+		return out
 	}
 
 	ctxs := make([]*QuoteContext, 0, len(queries))
 	rounds := make([]pricing.BatchRound, 0, len(queries))
 	idx := make([]int, 0, len(queries)) // query index of each prepared round
-	var errs []error
 	for i := range queries {
 		ctx, err := b.Prepare(queries[i].Q)
 		if err != nil {
-			errs = append(errs, fmt.Errorf("market: preparing query %d: %w", i, err))
+			out[i].Err = fmt.Errorf("preparing query: %w", err)
 			continue
 		}
 		ctxs = append(ctxs, ctx)
 		rounds = append(rounds, pricing.BatchRound{X: ctx.Features, Reserve: ctx.Reserve})
 		idx = append(idx, i)
 	}
-	out := bp.PriceBatch(rounds, func(k int, q pricing.Quote) bool {
+	priced := bp.PriceBatch(rounds, func(k int, q pricing.Quote) bool {
 		return pricing.Sold(q.Price, queries[idx[k]].Valuation)
 	})
-	txs := make([]Transaction, 0, len(rounds))
-	for k, o := range out {
+	for k, o := range priced {
 		i := idx[k]
 		if o.Err != nil {
-			errs = append(errs, fmt.Errorf("market: pricing query %d: %w", i, o.Err))
+			out[i].Err = fmt.Errorf("pricing query: %w", o.Err)
 			continue
 		}
 		tx, err := b.settle(queries[i], ctxs[k], o.Quote, o.Accepted)
 		if err != nil {
-			errs = append(errs, fmt.Errorf("market: settling query %d: %w", i, err))
+			out[i].Err = fmt.Errorf("settling query: %w", err)
 			continue
 		}
-		txs = append(txs, tx)
+		out[i].Tx = tx
 	}
-	return txs, errors.Join(errs...)
+	return out
 }
 
 // settle updates the broker's books for one priced round under the lock.
@@ -327,6 +350,9 @@ func (b *Broker) settle(query Query, ctx *QuoteContext, quote pricing.Quote, sol
 				b.ownerPayout[i] += ctx.Reserve * c / total
 			}
 		}
+		b.sold++
+		b.totRevenue += tx.Revenue
+		b.totCompensation += tx.Compensation
 	}
 	tx.Regret = pricing.SingleRoundRegret(query.Valuation, ctx.Reserve, tx.Posted)
 
@@ -341,6 +367,73 @@ func (b *Broker) Ledger() []Transaction {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.ledger
+}
+
+// LedgerSlice copies out ledger entries [offset, offset+limit) in trade
+// order, plus the full ledger length. Negative offset is treated as 0;
+// limit ≤ 0 means "to the end". Unlike Ledger it is safe while trades
+// are in flight: the returned slice is the caller's own.
+func (b *Broker) LedgerSlice(offset, limit int) ([]Transaction, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := len(b.ledger)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	end := total
+	if limit > 0 && offset+limit < end {
+		end = offset + limit
+	}
+	out := make([]Transaction, end-offset)
+	copy(out, b.ledger[offset:end])
+	return out, total
+}
+
+// Payouts copies out the cumulative compensation paid to each owner.
+func (b *Broker) Payouts() linalg.Vector {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ownerPayout.Clone()
+}
+
+// Stats is a consistent snapshot of the broker's books: the market
+// totals plus the regret-tracker aggregates over every trade.
+type Stats struct {
+	// Rounds counts every trade; Sold the settled ones.
+	Rounds int
+	Sold   int
+	// Revenue, Compensation, Profit are the market totals
+	// (Profit = Revenue − Compensation ≥ 0 by the reserve constraint).
+	Revenue      float64
+	Compensation float64
+	Profit       float64
+	// Regret aggregates per Eq. (1).
+	CumulativeRegret  float64
+	CumulativeValue   float64
+	CumulativeRevenue float64
+	RegretRatio       float64
+}
+
+// Stats captures the books under the broker lock, so it is safe while
+// trades are in flight and internally consistent (every counted round's
+// settlement and regret are both included).
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{
+		Rounds:            len(b.ledger),
+		Sold:              b.sold,
+		Revenue:           b.totRevenue,
+		Compensation:      b.totCompensation,
+		Profit:            b.totRevenue - b.totCompensation,
+		CumulativeRegret:  b.tracker.CumulativeRegret(),
+		CumulativeValue:   b.tracker.CumulativeValue(),
+		CumulativeRevenue: b.tracker.CumulativeRevenue(),
+		RegretRatio:       b.tracker.RegretRatio(),
+	}
 }
 
 // Tracker returns the broker's regret tracker. The tracker is not itself
@@ -362,20 +455,12 @@ func (b *Broker) OwnerPayout(i int) (float64, error) {
 func (b *Broker) TotalProfit() float64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	var s float64
-	for _, tx := range b.ledger {
-		s += tx.Profit
-	}
-	return s
+	return b.totRevenue - b.totCompensation
 }
 
 // TotalRevenue returns the total price collected from consumers.
 func (b *Broker) TotalRevenue() float64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	var s float64
-	for _, tx := range b.ledger {
-		s += tx.Revenue
-	}
-	return s
+	return b.totRevenue
 }

@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync"
 
+	"datamarket/api"
 	"datamarket/internal/linalg"
 	"datamarket/internal/pricing"
 )
@@ -20,8 +21,9 @@ import (
 // MaxBatchRounds caps the rounds in one batch request, bounding how
 // long one request can hold a stream's lock (a few milliseconds of
 // pricing at typical dimensions). Very wide rounds hit the
-// maxBodyBytes 413 before this 400.
-const MaxBatchRounds = 4096
+// maxBodyBytes 413 before this 400. The value is part of the wire
+// contract and lives in the api package.
+const MaxBatchRounds = api.MaxBatchRounds
 
 // checkBatchSize enforces the 400-level batch limits.
 func checkBatchSize(w http.ResponseWriter, n int) bool {

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"datamarket/api"
+)
+
+// doErr sends a request expected to fail and returns the decoded error
+// envelope alongside the status, so tests assert the stable wire code —
+// the thing clients actually branch on — not just the HTTP status.
+func (c *client) doErr(method, path string, body any) (int, api.ErrorDetail) {
+	c.t.Helper()
+	var resp api.ErrorResponse
+	status := c.do(method, path, body, &resp)
+	if resp.Error.Code == "" {
+		c.t.Fatalf("%s %s: status %d carries no error envelope code", method, path, status)
+	}
+	return status, resp.Error
+}
+
+// TestErrorEnvelopeCodes walks every error path the handlers expose and
+// asserts both the status and the stable machine-readable code of the
+// envelope.
+func TestErrorEnvelopeCodes(t *testing.T) {
+	_, c := newTestServer(t)
+
+	// Fixtures: a linear stream, an sgd stream (for family mismatch), a
+	// stream with a pending two-phase round, and one market.
+	c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: "lin", Dim: 2}, nil, http.StatusCreated)
+	c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: "sgd", Family: "sgd", Dim: 2}, nil, http.StatusCreated)
+	c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: "pend", Dim: 2}, nil, http.StatusCreated)
+	c.mustDo("POST", "/v1/streams/pend/quote",
+		QuoteRequest{Features: []float64{0.3, 0.4}, Reserve: -100}, nil, http.StatusOK)
+	c.mustDo("POST", "/v1/markets", CreateMarketRequest{
+		ID: "mkt",
+		Owners: []OwnerSpec{
+			{Value: 1, Range: 1, Contract: ContractSpec{Type: "tanh", Rho: 1, Eta: 5}},
+		},
+	}, nil, http.StatusCreated)
+
+	var env api.Envelope
+	c.mustDo("GET", "/v1/streams/sgd/snapshot", nil, &env, http.StatusOK)
+
+	val := 1.0
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       any
+		wantStatus int
+		wantCode   api.ErrorCode
+	}{
+		{"stream not found", "GET", "/v1/streams/nope", nil,
+			http.StatusNotFound, api.CodeStreamNotFound},
+		{"stream exists", "POST", "/v1/streams", CreateStreamRequest{ID: "lin", Dim: 2},
+			http.StatusConflict, api.CodeStreamExists},
+		{"invalid create", "POST", "/v1/streams", CreateStreamRequest{ID: "bad", Dim: 0},
+			http.StatusBadRequest, api.CodeInvalidRequest},
+		{"malformed body", "POST", "/v1/streams", map[string]any{"unknown_field": 1},
+			http.StatusBadRequest, api.CodeInvalidRequest},
+		{"bad dimension on price", "POST", "/v1/streams/lin/price",
+			PriceRequest{Features: []float64{1}, Valuation: &val},
+			http.StatusBadRequest, api.CodeInvalidRequest},
+		{"observe without round", "POST", "/v1/streams/lin/observe", ObserveRequest{Accepted: true},
+			http.StatusConflict, api.CodeNoRoundPending},
+		{"second quote while pending", "POST", "/v1/streams/pend/quote",
+			QuoteRequest{Features: []float64{0.1, 0.2}, Reserve: -100},
+			http.StatusConflict, api.CodeRoundPending},
+		{"delete while pending", "DELETE", "/v1/streams/pend", nil,
+			http.StatusConflict, api.CodeStreamPending},
+		{"cross-family restore", "POST", "/v1/streams/lin/restore", &env,
+			http.StatusConflict, api.CodeFamilyMismatch},
+		{"checkpoint unconfigured", "POST", "/v1/admin/checkpoint", nil,
+			http.StatusServiceUnavailable, api.CodeUnavailable},
+		{"market not found", "GET", "/v1/markets/nope", nil,
+			http.StatusNotFound, api.CodeMarketNotFound},
+		{"market not found on trade", "POST", "/v1/markets/nope/trade",
+			TradeRequest{Weights: []float64{1}, NoiseVariance: 1, Valuation: 1},
+			http.StatusNotFound, api.CodeMarketNotFound},
+		{"market exists", "POST", "/v1/markets", CreateMarketRequest{
+			ID: "mkt",
+			Owners: []OwnerSpec{
+				{Value: 1, Range: 1, Contract: ContractSpec{Type: "tanh", Rho: 1, Eta: 5}},
+			},
+		}, http.StatusConflict, api.CodeMarketExists},
+		{"invalid market", "POST", "/v1/markets", CreateMarketRequest{ID: "empty"},
+			http.StatusBadRequest, api.CodeInvalidRequest},
+		{"invalid trade", "POST", "/v1/markets/mkt/trade",
+			TradeRequest{Weights: []float64{1, 2}, NoiseVariance: 1, Valuation: 1},
+			http.StatusBadRequest, api.CodeInvalidRequest},
+		{"bad ledger paging", "GET", "/v1/markets/mkt/ledger?offset=-1", nil,
+			http.StatusBadRequest, api.CodeInvalidRequest},
+		// The mux's own plain-text 404/405 are rewritten into the
+		// envelope by the middleware — the contract holds on every path.
+		{"unknown route", "GET", "/v1/nope", nil,
+			http.StatusNotFound, api.CodeNotFound},
+		{"method not allowed", "PUT", "/v1/streams", nil,
+			http.StatusMethodNotAllowed, api.CodeMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, detail := c.doErr(tc.method, tc.path, tc.body)
+			if status != tc.wantStatus {
+				t.Errorf("status %d, want %d (%s)", status, tc.wantStatus, detail.Message)
+			}
+			if detail.Code != tc.wantCode {
+				t.Errorf("code %q, want %q (%s)", detail.Code, tc.wantCode, detail.Message)
+			}
+			if detail.Message == "" {
+				t.Error("empty error message")
+			}
+		})
+	}
+}
+
+// TestVersionEndpoint pins the compatibility surface clients probe on
+// first use: the /v1/version body and the headers every response
+// carries.
+func TestVersionEndpoint(t *testing.T) {
+	ts, c := newTestServer(t)
+	var resp VersionResponse
+	c.mustDo("GET", "/v1/version", nil, &resp, http.StatusOK)
+	if resp.API != api.APIVersion {
+		t.Errorf("API %q, want %q", resp.API, api.APIVersion)
+	}
+	if resp.Server == "" || resp.GoVersion == "" {
+		t.Errorf("missing build info: %+v", resp)
+	}
+	raw, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Body.Close()
+	if got := raw.Header.Get("X-Api-Version"); got != api.APIVersion {
+		t.Errorf("X-Api-Version header %q, want %q", got, api.APIVersion)
+	}
+	if got := raw.Header.Get("Server"); got != "brokerd/"+Version {
+		t.Errorf("Server header %q, want brokerd/%s", got, Version)
+	}
+}
+
+// TestTypedHealthAndObserve asserts the previously ad-hoc payloads are
+// the typed api responses.
+func TestTypedHealthAndObserve(t *testing.T) {
+	_, c := newTestServer(t)
+	c.mustDo("POST", "/v1/streams", CreateStreamRequest{ID: "s", Dim: 2}, nil, http.StatusCreated)
+	c.mustDo("POST", "/v1/streams/s/quote",
+		QuoteRequest{Features: []float64{0.3, 0.4}, Reserve: -100}, nil, http.StatusOK)
+	var obs ObserveResponse
+	c.mustDo("POST", "/v1/streams/s/observe", ObserveRequest{Accepted: true}, &obs, http.StatusOK)
+	if !obs.Observed {
+		t.Error("observe response not acknowledged")
+	}
+	var health HealthResponse
+	c.mustDo("GET", "/healthz", nil, &health, http.StatusOK)
+	if health.Status != "ok" || health.Streams != 1 || health.Markets != 0 {
+		t.Errorf("health = %+v, want ok/1/0", health)
+	}
+}

@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 
+	"datamarket/api"
 	"datamarket/internal/linalg"
 	"datamarket/internal/pricing"
 )
@@ -17,23 +20,32 @@ import (
 // limit. Oversized bodies get 413, not silent truncation.
 const maxBodyBytes = 32 << 20
 
-// Server is the brokerd HTTP edge over a stream registry.
+// Version is the brokerd release version reported by GET /v1/version.
+const Version = "0.5.0"
+
+// Server is the brokerd HTTP edge over a stream registry and a hosted
+// market registry.
 type Server struct {
 	reg       *Registry
+	markets   *MarketRegistry
 	persister *Persister
 }
 
-// NewServer wraps a registry (nil builds a fresh default registry).
+// NewServer wraps a registry (nil builds a fresh default registry) and
+// an empty market registry.
 func NewServer(reg *Registry) *Server {
 	if reg == nil {
 		reg = NewRegistry(0)
 	}
-	return &Server{reg: reg}
+	return &Server{reg: reg, markets: NewMarketRegistry()}
 }
 
 // Registry exposes the underlying registry (for embedding brokerd in
 // tests and larger binaries).
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Markets exposes the hosted market registry.
+func (s *Server) Markets() *MarketRegistry { return s.markets }
 
 // SetPersister attaches the persistence subsystem so the admin endpoints
 // can drive it. Without one, POST /v1/admin/checkpoint answers 503 and
@@ -44,6 +56,7 @@ func (s *Server) SetPersister(p *Persister) { s.persister = p }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("POST /v1/streams", s.handleCreate)
 	mux.HandleFunc("GET /v1/streams", s.handleList)
 	mux.HandleFunc("GET /v1/streams/{id}", s.handleInfo)
@@ -56,9 +69,36 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/streams/{id}/snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /v1/streams/{id}/restore", s.handleRestore)
 	mux.HandleFunc("GET /v1/streams/{id}/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/markets", s.handleCreateMarket)
+	mux.HandleFunc("GET /v1/markets", s.handleListMarkets)
+	mux.HandleFunc("GET /v1/markets/{id}", s.handleMarketInfo)
+	mux.HandleFunc("DELETE /v1/markets/{id}", s.handleDeleteMarket)
+	mux.HandleFunc("POST /v1/markets/{id}/trade", s.handleTrade)
+	mux.HandleFunc("POST /v1/markets/{id}/trade/batch", s.handleTradeBatch)
+	mux.HandleFunc("GET /v1/markets/{id}/ledger", s.handleLedger)
+	mux.HandleFunc("GET /v1/markets/{id}/payouts", s.handlePayouts)
+	mux.HandleFunc("GET /v1/markets/{id}/stats", s.handleMarketStats)
 	mux.HandleFunc("POST /v1/admin/checkpoint", s.handleAdminCheckpoint)
 	mux.HandleFunc("GET /v1/admin/store", s.handleAdminStore)
-	return mux
+	return withAPIHeaders(mux)
+}
+
+// handleVersion reports the wire contract version and build info so
+// clients can verify compatibility before relying on the API.
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	resp := VersionResponse{
+		API:       api.APIVersion,
+		Server:    Version,
+		GoVersion: runtime.Version(),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range info.Settings {
+			if kv.Key == "vcs.revision" {
+				resp.Revision = kv.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleAdminCheckpoint runs a synchronous checkpoint pass; ?compact=true
@@ -90,7 +130,9 @@ func (s *Server) handleAdminStore(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "streams": s.reg.Len()})
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status: "ok", Streams: s.reg.Len(), Markets: s.markets.Len(),
+	})
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -206,7 +248,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"observed": true})
+	writeJSON(w, http.StatusOK, ObserveResponse{Observed: true})
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -329,26 +371,63 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps domain errors onto HTTP statuses.
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
+// errorStatus maps a domain error onto its HTTP status and stable wire
+// code. Every sentinel the handlers can surface has an explicit row so
+// the code a client branches on never depends on message text.
+func errorStatus(err error) (int, api.ErrorCode) {
 	switch {
 	case errors.Is(err, ErrPersist):
 		// The request was valid; the journal append failed. 5xx so
 		// clients know to retry rather than treat it as malformed.
-		status = http.StatusInternalServerError
+		return http.StatusInternalServerError, api.CodePersistence
 	case errors.Is(err, ErrStreamNotFound):
-		status = http.StatusNotFound
-	case errors.Is(err, ErrStreamExists),
-		errors.Is(err, ErrStreamPending),
-		errors.Is(err, pricing.ErrFamilyMismatch),
-		errors.Is(err, pricing.ErrPendingRound),
-		errors.Is(err, pricing.ErrNoPendingRound):
-		status = http.StatusConflict
+		return http.StatusNotFound, api.CodeStreamNotFound
+	case errors.Is(err, ErrMarketNotFound):
+		return http.StatusNotFound, api.CodeMarketNotFound
+	case errors.Is(err, ErrStreamExists):
+		return http.StatusConflict, api.CodeStreamExists
+	case errors.Is(err, ErrMarketExists):
+		return http.StatusConflict, api.CodeMarketExists
+	case errors.Is(err, ErrStreamPending):
+		return http.StatusConflict, api.CodeStreamPending
+	case errors.Is(err, pricing.ErrFamilyMismatch):
+		return http.StatusConflict, api.CodeFamilyMismatch
+	case errors.Is(err, pricing.ErrPendingRound):
+		return http.StatusConflict, api.CodeRoundPending
+	case errors.Is(err, pricing.ErrNoPendingRound):
+		return http.StatusConflict, api.CodeNoRoundPending
+	default:
+		return http.StatusBadRequest, api.CodeInvalidRequest
 	}
-	writeStatusError(w, status, err.Error())
 }
 
+// writeError maps domain errors onto HTTP statuses and wire codes.
+func writeError(w http.ResponseWriter, err error) {
+	status, code := errorStatus(err)
+	writeAPIError(w, status, code, err.Error())
+}
+
+// writeStatusError writes a validation-style error at the given status
+// with the status's default code; paths with a more specific domain
+// error go through writeError instead.
 func writeStatusError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, ErrorResponse{Error: msg})
+	var code api.ErrorCode
+	switch status {
+	case http.StatusRequestEntityTooLarge:
+		code = api.CodeBodyTooLarge
+	case http.StatusServiceUnavailable:
+		code = api.CodeUnavailable
+	case http.StatusInternalServerError:
+		code = api.CodeInternal
+	default:
+		code = api.CodeInvalidRequest
+	}
+	writeAPIError(w, status, code, msg)
+}
+
+// writeAPIError emits the machine-readable error envelope
+// {"error":{"code","message"}} — the uniform body of every non-2xx
+// response.
+func writeAPIError(w http.ResponseWriter, status int, code api.ErrorCode, msg string) {
+	writeJSON(w, status, api.ErrorResponse{Error: api.ErrorDetail{Code: code, Message: msg}})
 }

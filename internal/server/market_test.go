@@ -1,0 +1,231 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"testing"
+
+	"datamarket/api"
+	"datamarket/internal/randx"
+)
+
+// marketFixture creates a market with n owners and returns a weights
+// generator whose queries touch a random half of the population.
+func marketFixture(t *testing.T, c *client, id string, n int) func(r *randx.RNG) []float64 {
+	t.Helper()
+	owners := make([]OwnerSpec, n)
+	vals := randx.New(11).UniformVector(n, 1, 5)
+	for i := range owners {
+		owners[i] = OwnerSpec{
+			Value: vals[i], Range: 4,
+			Contract: ContractSpec{Type: "tanh", Rho: 1, Eta: 10},
+		}
+	}
+	var info MarketInfo
+	c.mustDo("POST", "/v1/markets", CreateMarketRequest{
+		ID: id, Owners: owners, Seed: 3, Horizon: 1000,
+	}, &info, http.StatusCreated)
+	if info.Owners != n || info.Family != "linear" {
+		t.Fatalf("market info = %+v", info)
+	}
+	return func(r *randx.RNG) []float64 {
+		w := make([]float64, n)
+		for i := range w {
+			if r.Float64() < 0.5 {
+				w[i] = r.Float64()
+			}
+		}
+		w[0] = 0.5 // at least one non-zero weight
+		return w
+	}
+}
+
+// TestHostedMarketLoop drives the full market scenario over HTTP:
+// create, single trades, a batch, then checks the ledger, payouts, and
+// stats are mutually consistent with the paper's reserve-price
+// accounting.
+func TestHostedMarketLoop(t *testing.T) {
+	_, c := newTestServer(t)
+	r := randx.New(5)
+	weightsFor := marketFixture(t, c, "m", 40)
+
+	const singles = 20
+	for i := 0; i < singles; i++ {
+		var resp TradeResponse
+		c.mustDo("POST", "/v1/markets/m/trade", TradeRequest{
+			Weights: weightsFor(r), NoiseVariance: 2, Valuation: 4 + r.Float64(),
+		}, &resp, http.StatusOK)
+		if resp.Round != i+1 {
+			t.Fatalf("round %d, want %d", resp.Round, i+1)
+		}
+		if resp.Sold {
+			if resp.Profit < -1e-12 {
+				t.Fatalf("sold at a loss: %+v", resp.TradeResult)
+			}
+			if math.Abs(resp.Compensation-resp.Reserve) > 1e-12 {
+				t.Fatalf("compensation %g != reserve %g", resp.Compensation, resp.Reserve)
+			}
+		}
+	}
+
+	const batch = 64
+	req := TradeBatchRequest{Trades: make([]TradeRequest, batch)}
+	for i := range req.Trades {
+		req.Trades[i] = TradeRequest{
+			Weights: weightsFor(r), NoiseVariance: 2, Valuation: 4 + r.Float64(),
+		}
+	}
+	// One invalid trade fails alone without disturbing its neighbors.
+	req.Trades[10].Weights = []float64{1}
+	var bresp TradeBatchResponse
+	c.mustDo("POST", "/v1/markets/m/trade/batch", req, &bresp, http.StatusOK)
+	if len(bresp.Results) != batch {
+		t.Fatalf("%d results, want %d", len(bresp.Results), batch)
+	}
+	for i, res := range bresp.Results {
+		if i == 10 {
+			if res.Error == "" {
+				t.Fatal("invalid trade did not fail")
+			}
+			continue
+		}
+		if res.Error != "" {
+			t.Fatalf("trade %d: %s", i, res.Error)
+		}
+	}
+
+	// Ledger: the invalid trade left no entry; paging composes back to
+	// the full ledger.
+	wantTotal := singles + batch - 1
+	var ledger LedgerResponse
+	c.mustDo("GET", "/v1/markets/m/ledger", nil, &ledger, http.StatusOK)
+	if ledger.Total != wantTotal || len(ledger.Entries) != wantTotal {
+		t.Fatalf("ledger total %d entries %d, want %d", ledger.Total, len(ledger.Entries), wantTotal)
+	}
+	var page LedgerResponse
+	c.mustDo("GET", "/v1/markets/m/ledger?offset=5&limit=10", nil, &page, http.StatusOK)
+	if len(page.Entries) != 10 || page.Entries[0] != ledger.Entries[5] {
+		t.Fatalf("paged ledger mismatch: %+v", page.Entries[0])
+	}
+
+	// Stats and payouts agree with the ledger.
+	var sold int
+	var revenue, comp float64
+	for _, tx := range ledger.Entries {
+		if tx.Sold {
+			sold++
+			revenue += tx.Revenue
+			comp += tx.Compensation
+		}
+	}
+	if sold == 0 {
+		t.Fatal("no trade settled; fixture valuations too low")
+	}
+	var stats MarketStatsResponse
+	c.mustDo("GET", "/v1/markets/m/stats", nil, &stats, http.StatusOK)
+	if stats.Rounds != wantTotal || stats.Sold != sold {
+		t.Fatalf("stats rounds/sold %d/%d, want %d/%d", stats.Rounds, stats.Sold, wantTotal, sold)
+	}
+	if math.Abs(stats.Revenue-revenue) > 1e-9 || math.Abs(stats.Compensation-comp) > 1e-9 {
+		t.Fatalf("stats totals %g/%g, ledger says %g/%g",
+			stats.Revenue, stats.Compensation, revenue, comp)
+	}
+	if stats.Profit < -1e-9 {
+		t.Fatalf("market ran at a loss: %g", stats.Profit)
+	}
+	if !stats.HasCounters || stats.Counters.Rounds != wantTotal {
+		t.Fatalf("counters %+v (has=%v), want %d rounds", stats.Counters, stats.HasCounters, wantTotal)
+	}
+
+	var payouts PayoutsResponse
+	c.mustDo("GET", "/v1/markets/m/payouts", nil, &payouts, http.StatusOK)
+	if len(payouts.Payouts) != 40 {
+		t.Fatalf("%d payout rows, want 40", len(payouts.Payouts))
+	}
+	// Owners are paid exactly the compensation the broker collected for.
+	if math.Abs(payouts.Total-comp) > 1e-9 {
+		t.Fatalf("payout total %g, compensation %g", payouts.Total, comp)
+	}
+
+	// Lifecycle: list, delete, gone.
+	var list ListMarketsResponse
+	c.mustDo("GET", "/v1/markets", nil, &list, http.StatusOK)
+	if len(list.Markets) != 1 || list.Markets[0].ID != "m" {
+		t.Fatalf("market list %+v", list)
+	}
+	c.mustDo("DELETE", "/v1/markets/m", nil, nil, http.StatusNoContent)
+	c.mustDo("GET", "/v1/markets/m", nil, nil, http.StatusNotFound)
+}
+
+// TestHostedMarketFamilies stands one market up per pricing family over
+// the same owner population — the serving surface is mechanism-agnostic.
+func TestHostedMarketFamilies(t *testing.T) {
+	_, c := newTestServer(t)
+	r := randx.New(9)
+	for _, tc := range []struct {
+		id      string
+		family  string
+		horizon int // sgd takes no horizon
+		model   *api.ModelConfig
+	}{
+		{id: "lin", family: "linear", horizon: 500},
+		{id: "nl", family: "nonlinear", horizon: 500, model: &api.ModelConfig{Link: "exp"}},
+		{id: "sgd", family: "sgd", model: &api.ModelConfig{Eta0: 0.5, Margin: 1}},
+	} {
+		owners := make([]OwnerSpec, 12)
+		for i := range owners {
+			owners[i] = OwnerSpec{
+				Value: 1 + r.Float64(), Range: 2,
+				Contract: ContractSpec{Type: "linear", Rho: 0.2},
+			}
+		}
+		var info MarketInfo
+		c.mustDo("POST", "/v1/markets", CreateMarketRequest{
+			ID: tc.id, Owners: owners, Family: tc.family, FeatureDim: 4,
+			Horizon: tc.horizon, Model: tc.model,
+		}, &info, http.StatusCreated)
+		if info.Family != tc.family || info.FeatureDim != 4 {
+			t.Fatalf("%s: info %+v", tc.id, info)
+		}
+		for i := 0; i < 8; i++ {
+			w := make([]float64, 12)
+			for j := range w {
+				w[j] = r.Float64()
+			}
+			var resp TradeResponse
+			c.mustDo("POST", "/v1/markets/"+tc.id+"/trade", TradeRequest{
+				Weights: w, NoiseVariance: 2, Valuation: 3,
+			}, &resp, http.StatusOK)
+		}
+		var stats MarketStatsResponse
+		c.mustDo("GET", "/v1/markets/"+tc.id+"/stats", nil, &stats, http.StatusOK)
+		if stats.Rounds != 8 {
+			t.Fatalf("%s: %d rounds, want 8", tc.id, stats.Rounds)
+		}
+	}
+}
+
+// TestMarketDefaultFeatureDim pins the paper's default aggregation
+// dimension: min(owners, 10).
+func TestMarketDefaultFeatureDim(t *testing.T) {
+	_, c := newTestServer(t)
+	for _, tc := range []struct {
+		id     string
+		owners int
+		want   int
+	}{
+		{"small", 4, 4},
+		{"large", 25, 10},
+	} {
+		owners := make([]OwnerSpec, tc.owners)
+		for i := range owners {
+			owners[i] = OwnerSpec{Value: 1, Range: 1, Contract: ContractSpec{Type: "tanh", Rho: 1, Eta: 1}}
+		}
+		var info MarketInfo
+		c.mustDo("POST", "/v1/markets", CreateMarketRequest{ID: tc.id, Owners: owners},
+			&info, http.StatusCreated)
+		if info.FeatureDim != tc.want {
+			t.Errorf("%s: feature dim %d, want %d", tc.id, info.FeatureDim, tc.want)
+		}
+	}
+}

@@ -1,9 +1,63 @@
 package server
 
 import (
+	"encoding/json"
 	"net/http"
 	"time"
+
+	"datamarket/api"
 )
+
+// withAPIHeaders stamps every response with the server build and the
+// wire contract version, so clients, proxies, and probes can identify
+// the API without parsing a body. It also rewrites the mux's own
+// plain-text 404 ("page not found") and 405 ("method not allowed")
+// responses into the JSON error envelope, upholding the contract that
+// every non-2xx body is machine-readable.
+func withAPIHeaders(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hd := w.Header()
+		hd.Set("Server", "brokerd/"+Version)
+		hd.Set("X-Api-Version", api.APIVersion)
+		h.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
+	})
+}
+
+// envelopeWriter intercepts 404/405 responses the handlers did not
+// produce themselves. The server's own error paths always set the JSON
+// content type before writing the status (writeJSON), so anything else
+// at those statuses is http.ServeMux speaking plain text — replace the
+// body with the standard envelope and swallow the mux's text.
+type envelopeWriter struct {
+	http.ResponseWriter
+	intercepted bool
+}
+
+func (w *envelopeWriter) WriteHeader(status int) {
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		w.Header().Get("Content-Type") != "application/json" {
+		w.intercepted = true
+		detail := api.ErrorDetail{Code: api.CodeNotFound, Message: "no such route"}
+		if status == http.StatusMethodNotAllowed {
+			// The mux already set the Allow header; keep it.
+			detail = api.ErrorDetail{Code: api.CodeMethodNotAllowed, Message: "method not allowed"}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Del("X-Content-Type-Options")
+		w.ResponseWriter.WriteHeader(status)
+		json.NewEncoder(w.ResponseWriter).Encode(api.ErrorResponse{Error: detail})
+		return
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *envelopeWriter) Write(b []byte) (int, error) {
+	if w.intercepted {
+		// Drop the mux's plain-text body; the envelope already went out.
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
+}
 
 // statusRecorder captures the response status for the request log.
 type statusRecorder struct {

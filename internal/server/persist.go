@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"datamarket/api"
 	"datamarket/internal/pricing"
 	"datamarket/internal/store"
 )
@@ -34,25 +35,9 @@ type PersistConfig struct {
 	Logf func(format string, args ...any)
 }
 
-// CheckpointStats reports one checkpoint pass.
-type CheckpointStats struct {
-	// Streams is the number of live streams examined.
-	Streams int `json:"streams"`
-	// Persisted counts streams whose state was written this pass.
-	Persisted int `json:"persisted"`
-	// SkippedClean counts streams skipped because their revision had not
-	// moved since their last persist — the cheap path that lets a
-	// thousand-stream registry checkpoint in microseconds when idle.
-	SkippedClean int `json:"skipped_clean"`
-	// SkippedPending counts streams skipped because a two-phase round
-	// was awaiting feedback (snapshots are between-rounds only); they
-	// are retried on the next pass.
-	SkippedPending int `json:"skipped_pending"`
-	// Errors counts streams whose persist failed this pass.
-	Errors int `json:"errors"`
-	// DurationMS is the wall-clock time of the pass.
-	DurationMS float64 `json:"duration_ms"`
-}
+// CheckpointStats reports one checkpoint pass; the wire form lives in
+// the public api package.
+type CheckpointStats = api.CheckpointStats
 
 // Persister connects a Registry to a Store: it is the registry's
 // LifecycleObserver, the background checkpointer, and the boot-time

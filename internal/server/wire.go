@@ -1,184 +1,46 @@
 package server
 
-import (
-	"datamarket/internal/pricing"
-	"datamarket/internal/store"
+import "datamarket/api"
+
+// The HTTP contract lives in the public datamarket/api package so
+// external programs (and the official client SDK) can import it; the
+// aliases below keep the server's own code and tests reading naturally
+// and guarantee the server speaks exactly the published types.
+type (
+	CreateStreamRequest    = api.CreateStreamRequest
+	StreamInfo             = api.StreamInfo
+	ListStreamsResponse    = api.ListStreamsResponse
+	PriceRequest           = api.PriceRequest
+	QuoteRequest           = api.QuoteRequest
+	ObserveRequest         = api.ObserveRequest
+	ObserveResponse        = api.ObserveResponse
+	PriceResponse          = api.PriceResponse
+	BatchPriceRound        = api.BatchPriceRound
+	BatchPriceRequest      = api.BatchPriceRequest
+	MultiBatchRound        = api.MultiBatchRound
+	MultiBatchPriceRequest = api.MultiBatchPriceRequest
+	BatchRoundResult       = api.BatchRoundResult
+	BatchPriceResponse     = api.BatchPriceResponse
+	RegretStats            = api.RegretStats
+	StatsResponse          = api.StatsResponse
+	HealthResponse         = api.HealthResponse
+	VersionResponse        = api.VersionResponse
+	CheckpointResponse     = api.CheckpointResponse
+	StoreStatusResponse    = api.StoreStatusResponse
+	ErrorResponse          = api.ErrorResponse
+
+	CreateMarketRequest = api.CreateMarketRequest
+	OwnerSpec           = api.OwnerSpec
+	ContractSpec        = api.ContractSpec
+	MarketInfo          = api.MarketInfo
+	ListMarketsResponse = api.ListMarketsResponse
+	TradeRequest        = api.TradeRequest
+	TradeResult         = api.TradeResult
+	TradeResponse       = api.TradeResponse
+	TradeBatchRequest   = api.TradeBatchRequest
+	TradeBatchResult    = api.TradeBatchResult
+	TradeBatchResponse  = api.TradeBatchResponse
+	LedgerResponse      = api.LedgerResponse
+	PayoutsResponse     = api.PayoutsResponse
+	MarketStatsResponse = api.MarketStatsResponse
 )
-
-// CreateStreamRequest configures a new pricing stream: a family plus a
-// model config, not a concrete mechanism. One stream hosts one poster —
-// typically one per consumer segment or query family.
-type CreateStreamRequest struct {
-	// ID names the stream. Required, and unique across the registry.
-	ID string `json:"id"`
-	// Family selects the pricing family: "linear" (default), "nonlinear",
-	// or "sgd".
-	Family string `json:"family,omitempty"`
-	// Dim is the input feature dimension n. Required, ≥ 1.
-	Dim int `json:"dim"`
-	// Radius bounds ‖θ*‖ for the initial knowledge ball (ellipsoid
-	// families). Defaults to 2√(mapped dim), the normalization used
-	// throughout the paper's experiments.
-	Radius float64 `json:"radius,omitempty"`
-	// Reserve enables the reserve price constraint (all families).
-	Reserve bool `json:"reserve,omitempty"`
-	// Delta is the uncertainty buffer δ ≥ 0 (Algorithm 2).
-	Delta float64 `json:"delta,omitempty"`
-	// Threshold overrides the exploration threshold ε. When 0 and
-	// Horizon > 0, the regret-optimal DefaultThreshold schedule is used;
-	// when both are 0, the mechanism's horizon-free fallback applies.
-	Threshold float64 `json:"threshold,omitempty"`
-	// Horizon is the expected number of rounds T for the default ε.
-	Horizon int `json:"horizon,omitempty"`
-	// Model carries the family-specific model config: link/map/kernel/
-	// landmarks for "nonlinear", eta0/margin for "sgd".
-	Model *pricing.ModelConfig `json:"model,omitempty"`
-}
-
-// StreamInfo describes a hosted stream.
-type StreamInfo struct {
-	ID     string `json:"id"`
-	Family string `json:"family"`
-	Dim    int    `json:"dim"`
-}
-
-// ListStreamsResponse enumerates the hosted streams.
-type ListStreamsResponse struct {
-	Streams []StreamInfo `json:"streams"`
-}
-
-// PriceRequest drives pricing for one query. With Valuation set, the
-// server runs one full round atomically: it posts the price, accepts iff
-// price ≤ valuation (the buyer-valuation callback), and feeds the result
-// back to the mechanism. Without Valuation, use the two-phase
-// /quote + /observe pair instead.
-type PriceRequest struct {
-	Features  []float64 `json:"features"`
-	Reserve   float64   `json:"reserve,omitempty"`
-	Valuation *float64  `json:"valuation,omitempty"`
-}
-
-// QuoteRequest opens a round without resolving it: the caller must report
-// the buyer's decision via /observe before the next quote on the stream.
-type QuoteRequest struct {
-	Features []float64 `json:"features"`
-	Reserve  float64   `json:"reserve,omitempty"`
-}
-
-// ObserveRequest closes the round opened by the last quote.
-type ObserveRequest struct {
-	Accepted bool `json:"accepted"`
-}
-
-// PriceResponse reports the broker's quote for one round. Accepted is
-// set only when the request carried a valuation and the round was not
-// skipped.
-type PriceResponse struct {
-	Price          float64 `json:"price"`
-	Decision       string  `json:"decision"`
-	Lower          float64 `json:"lower"`
-	Upper          float64 `json:"upper"`
-	ReserveBinding bool    `json:"reserve_binding,omitempty"`
-	Accepted       *bool   `json:"accepted,omitempty"`
-}
-
-// BatchPriceRound is one round inside a batched pricing request. The
-// fields mirror PriceRequest; Valuation is required — batching exists
-// for the high-throughput valuation-callback path, two-phase rounds
-// cannot batch (each one blocks on external feedback).
-type BatchPriceRound struct {
-	Features  []float64 `json:"features"`
-	Reserve   float64   `json:"reserve,omitempty"`
-	Valuation *float64  `json:"valuation,omitempty"`
-}
-
-// BatchPriceRequest prices k rounds on one stream with a single JSON
-// decode and a single stream-lock acquisition (POST
-// /v1/streams/{id}/price/batch). Rounds run back to back in order.
-type BatchPriceRequest struct {
-	Rounds []BatchPriceRound `json:"rounds"`
-}
-
-// MultiBatchRound is one round inside a multi-stream batched pricing
-// request: a BatchPriceRound plus the target stream.
-type MultiBatchRound struct {
-	StreamID  string    `json:"stream_id"`
-	Features  []float64 `json:"features"`
-	Reserve   float64   `json:"reserve,omitempty"`
-	Valuation *float64  `json:"valuation,omitempty"`
-}
-
-// MultiBatchPriceRequest prices rounds across many streams in one
-// request (POST /v1/price/batch). Rounds are grouped by stream — order
-// is preserved within a stream, not across streams — and fanned out
-// over a bounded worker pool, one shard's streams per worker at a time.
-type MultiBatchPriceRequest struct {
-	Rounds []MultiBatchRound `json:"rounds"`
-}
-
-// BatchRoundResult reports one round of a batch: the quote fields on
-// success, or Error. Results align index-for-index with request rounds.
-type BatchRoundResult struct {
-	PriceResponse
-	Error string `json:"error,omitempty"`
-}
-
-// BatchPriceResponse carries the per-round results of either batch
-// endpoint.
-type BatchPriceResponse struct {
-	Results []BatchRoundResult `json:"results"`
-}
-
-// RegretStats summarizes the stream's regret bookkeeping. It covers only
-// the rounds priced through the one-shot /price endpoint, where the
-// buyer's valuation is known to the server.
-type RegretStats struct {
-	Rounds            int     `json:"rounds"`
-	CumulativeRegret  float64 `json:"cumulative_regret"`
-	CumulativeValue   float64 `json:"cumulative_value"`
-	CumulativeRevenue float64 `json:"cumulative_revenue"`
-	RegretRatio       float64 `json:"regret_ratio"`
-}
-
-// StatsResponse surfaces a stream's mechanism counters and regret
-// bookkeeping. HasCounters reports whether the poster keeps counters at
-// all; when false the Counters block is meaningless zeros rather than a
-// genuinely idle stream.
-type StatsResponse struct {
-	ID          string           `json:"id"`
-	Family      string           `json:"family"`
-	Dim         int              `json:"dim"`
-	Counters    pricing.Counters `json:"counters"`
-	HasCounters bool             `json:"has_counters"`
-	Regret      RegretStats      `json:"regret"`
-}
-
-// CheckpointResponse reports an admin-triggered checkpoint pass
-// (POST /v1/admin/checkpoint), plus whether the store was compacted
-// afterwards (?compact=true).
-type CheckpointResponse struct {
-	CheckpointStats
-	Compacted bool `json:"compacted"`
-}
-
-// StoreStatusResponse is the persistence ops surface
-// (GET /v1/admin/store). Configured false means brokerd runs without a
-// data dir — purely in-memory, nothing survives a restart — and every
-// other field is absent.
-type StoreStatusResponse struct {
-	Configured bool `json:"configured"`
-	// CheckpointInterval is the background checkpointer period.
-	CheckpointInterval string `json:"checkpoint_interval,omitempty"`
-	// RecoveredStreams counts the streams replayed from the store at boot.
-	RecoveredStreams int `json:"recovered_streams,omitempty"`
-	// LastCheckpoint reports the most recent checkpoint pass.
-	LastCheckpoint *CheckpointStats `json:"last_checkpoint,omitempty"`
-	// Store is the backend's own view: journal/checkpoint sizes, LSNs,
-	// fsync policy, torn-tail repair.
-	Store *store.Stats `json:"store,omitempty"`
-}
-
-// ErrorResponse is the uniform error body.
-type ErrorResponse struct {
-	Error string `json:"error"`
-}
