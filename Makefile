@@ -1,0 +1,35 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml), so a green `make ci` locally means a green
+# pipeline — modulo govulncheck/staticcheck, which need network access
+# to install and therefore run only in CI.
+
+GO ?= go
+
+.PHONY: build test race lint fmt bench-smoke ci
+
+build:
+	$(GO) build ./...
+	$(GO) build ./examples/...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs the repo's own analyzer suite (errcode, floatguard,
+# lockdiscipline, wirecontract, snapshotfields) over every package.
+# Exit status 1 means findings; fix them or add a reasoned
+# //lint:ignore <analyzer> <reason> directive.
+lint:
+	$(GO) run ./cmd/datamarket-lint ./...
+
+fmt:
+	@test -z "$$(gofmt -l .)" || { echo "gofmt needed on:"; gofmt -l .; exit 1; }
+
+# bench-smoke compiles and runs every benchmark for one iteration so
+# they cannot rot; perf numbers come from manual -benchtime runs.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+ci: fmt build test lint

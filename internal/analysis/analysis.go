@@ -1,0 +1,117 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary — Analyzer, Pass,
+// Diagnostic — plus a whole-program view (Program) that the
+// datamarket-lint passes use to check cross-package invariants.
+//
+// The x/tools module is deliberately not a dependency: the repo builds
+// with a zero-entry go.sum, and the analyzers here need whole-program
+// type information anyway (e.g. "is every store sentinel mapped in the
+// server's error table?"), which the upstream driver only provides
+// through Facts. Instead the loader (loader.go) type-checks the whole
+// dependency closure from source in one process and every pass gets a
+// *Program with syntax and types for all packages in the run.
+//
+// The shape is kept close enough to upstream that a future PR can swap
+// the driver for the real go/analysis multichecker by deleting the
+// loader and renaming imports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one lint pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. Lower-case, no spaces.
+	Name string
+
+	// Doc is the one-paragraph description printed by -help.
+	Doc string
+
+	// Anchor is the import path the analyzer keys on. Whole-program
+	// analyzers run exactly once per lint invocation, when the anchor
+	// package is among the loaded target packages; the Pass they
+	// receive points at the anchor package and the full Program. If
+	// Anchor is empty the analyzer runs once per target package.
+	Anchor string
+
+	// Run executes the analyzer. Findings are reported via
+	// Pass.Reportf; the return value carries an operational error
+	// (analysis could not run), not lint findings.
+	Run func(*Pass) error
+}
+
+// Package is one loaded, parsed, type-checked package.
+type Package struct {
+	// PkgPath is the package's import path ("datamarket/api").
+	PkgPath string
+
+	// Dir is the directory holding the package sources.
+	Dir string
+
+	// Target reports whether the package was named by the lint
+	// patterns (as opposed to loaded as a dependency). Diagnostics
+	// are only reported against target packages.
+	Target bool
+
+	// Syntax holds the parsed files, in GoFiles order.
+	Syntax []*ast.File
+
+	// Types is the type-checked package object.
+	Types *types.Package
+
+	// TypesInfo records type information for Syntax.
+	TypesInfo *types.Info
+
+	// Errors holds type-check errors. Dependency packages tolerate
+	// errors (the checker recovers); target packages must be clean
+	// before analyzers run.
+	Errors []error
+}
+
+// Program is the whole-program view shared by every pass in a run.
+type Program struct {
+	Fset *token.FileSet
+
+	// Packages maps import path to every loaded package, targets and
+	// dependencies alike.
+	Packages map[string]*Package
+
+	// Targets lists the packages named by the lint patterns, in
+	// load order (dependencies first).
+	Targets []*Package
+}
+
+// Lookup returns the loaded package with the given import path, or nil.
+func (p *Program) Lookup(path string) *Package { return p.Packages[path] }
+
+// Diagnostic is one lint finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one analyzer execution over one package (or, for
+// anchored analyzers, over the whole program via Prog).
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Prog     *Program
+
+	diagnostics *[]Diagnostic
+}
+
+// Reportf records a finding at pos. The position may be in any loaded
+// package; the driver drops findings outside target packages.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diagnostics = append(*p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}

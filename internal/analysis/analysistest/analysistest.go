@@ -1,0 +1,145 @@
+// Package analysistest runs an analyzer over a fixture module and
+// checks its diagnostics against // want "regex" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a self-contained Go module under the pass's testdata
+// directory declaring `module datamarket`, so fixture packages occupy
+// the same import paths (datamarket/api, datamarket/internal/server,
+// ...) the default analyzer configs anchor on. The nested go.mod keeps
+// fixtures out of the parent module's ./... build and test patterns.
+//
+// Expectations:
+//
+//	x := bad()        // want "regex matching the diagnostic"
+//	y := alsoBad()    // want "first" "second"
+//
+// Every diagnostic must match a want on its line, and every want must
+// be matched by a diagnostic — in both directions a miss fails the
+// test. //lint:ignore directives are honored by the driver before
+// matching, so a suppressed violation carries no want comment (and the
+// test fails if suppression breaks).
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"datamarket/internal/analysis"
+)
+
+// Run loads the fixture module rooted at dir and checks the analyzer's
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	prog, err := analysis.Load(analysis.LoadConfig{Dir: dir}, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, prog)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		found := false
+		for i, w := range wants {
+			if matched[i] || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+func collectWants(t *testing.T, prog *analysis.Program) []want {
+	t.Helper()
+	var wants []want
+	for _, pkg := range prog.Targets {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := prog.Fset.Position(c.Pos())
+					for _, pat := range parseWant(c.Text) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWant extracts the quoted regexes from a `// want "..." "..."`
+// comment (double-quoted with Go escapes, or backquoted raw).
+func parseWant(comment string) []string {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil
+	}
+	var pats []string
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			end := closingQuote(rest)
+			if end < 0 {
+				return pats
+			}
+			if s, err := strconv.Unquote(rest[:end+1]); err == nil {
+				pats = append(pats, s)
+			}
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.Index(rest[1:], "`")
+			if end < 0 {
+				return pats
+			}
+			pats = append(pats, rest[1:1+end])
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			return pats
+		}
+	}
+	return pats
+}
+
+// closingQuote finds the index of the unescaped closing double quote.
+func closingQuote(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}

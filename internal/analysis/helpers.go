@@ -1,0 +1,312 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeOf resolves the static callee of a call expression: a named
+// function or a concrete method. Interface-method dispatch, function
+// values, and built-ins return nil — the lint passes only reason about
+// statically resolvable calls.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				// Skip interface methods: the static target is
+				// unknown.
+				if recv := fn.Signature().Recv(); recv != nil {
+					if types.IsInterface(recv.Type()) {
+						return nil
+					}
+				}
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// CallGraph maps each function declared in the graphed packages to the
+// set of functions it calls directly (including callees outside those
+// packages, e.g. math.IsNaN — they appear as leaves).
+//
+// Dynamic calls are over-approximated, CHA-style: a call through a
+// function value gets edges to every address-taken function in the
+// graphed packages (e.g. the pricing family registry's build funcs),
+// and a method call that doesn't resolve statically (interface
+// dispatch) gets edges to every concrete method with the same name.
+// Over-approximation is the right bias for the float-sanitizer check:
+// it can only make a function look *more* likely to validate, so it
+// trims false positives at the cost of missing some true ones.
+type CallGraph struct {
+	Calls map[*types.Func]map[*types.Func]bool
+	// Decls maps functions to their declarations, for passes that
+	// need to inspect callee bodies.
+	Decls map[*types.Func]*ast.FuncDecl
+
+	addressTaken  map[*types.Func]bool
+	methodsByName map[string][]*types.Func
+	dynCallers    map[*types.Func]bool
+	dynMethods    map[*types.Func]map[string]bool
+	resolved      bool
+}
+
+// BuildCallGraph constructs the static call graph over the given
+// packages.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		Calls:         make(map[*types.Func]map[*types.Func]bool),
+		Decls:         make(map[*types.Func]*ast.FuncDecl),
+		addressTaken:  make(map[*types.Func]bool),
+		methodsByName: make(map[string][]*types.Func),
+		dynCallers:    make(map[*types.Func]bool),
+		dynMethods:    make(map[*types.Func]map[string]bool),
+	}
+	for _, pkg := range pkgs {
+		if pkg.TypesInfo == nil {
+			continue
+		}
+		for _, f := range pkg.Syntax {
+			// Identify call-position idents so the remaining function
+			// references count as address-taken (stored in registries,
+			// passed as callbacks, ...).
+			calleeIdents := make(map[*ast.Ident]bool)
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					calleeIdents[fun] = true
+				case *ast.SelectorExpr:
+					calleeIdents[fun.Sel] = true
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || calleeIdents[id] {
+					return true
+				}
+				if fn, ok := pkg.TypesInfo.Uses[id].(*types.Func); ok {
+					g.addressTaken[fn] = true
+				}
+				return true
+			})
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				g.Decls[fn] = fd
+				if fd.Recv != nil {
+					g.methodsByName[fd.Name.Name] = append(g.methodsByName[fd.Name.Name], fn)
+				}
+				callees := g.Calls[fn]
+				if callees == nil {
+					callees = make(map[*types.Func]bool)
+					g.Calls[fn] = callees
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := CalleeOf(pkg.TypesInfo, call); callee != nil {
+						callees[callee] = true
+						return true
+					}
+					g.recordDynamic(pkg.TypesInfo, fn, call)
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+// recordDynamic classifies an unresolved call: conversions and
+// builtins are ignored; calls through function values mark the caller
+// dynamic; unresolved method calls record the method name for
+// name-based resolution.
+func (g *CallGraph) recordDynamic(info *types.Info, caller *types.Func, call *ast.CallExpr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch info.Uses[fun].(type) {
+		case *types.Builtin, *types.TypeName, nil:
+			return
+		}
+	case *ast.SelectorExpr:
+		if _, ok := info.Uses[fun.Sel].(*types.TypeName); ok {
+			return
+		}
+		if sel, ok := info.Selections[fun]; ok {
+			if _, ok := sel.Obj().(*types.Func); ok {
+				// Interface (or otherwise unresolved) method call.
+				names := g.dynMethods[caller]
+				if names == nil {
+					names = make(map[string]bool)
+					g.dynMethods[caller] = names
+				}
+				names[fun.Sel.Name] = true
+				return
+			}
+		}
+	default:
+		// Call of a function literal or other expression: the body
+		// of a literal is walked as part of the enclosing decl, so
+		// its static calls are already edges of the caller.
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return
+		}
+	}
+	g.dynCallers[caller] = true
+}
+
+// resolveDynamic materializes the CHA-style edges. Called lazily by
+// Reaching so graph construction stays cheap when nobody asks.
+func (g *CallGraph) resolveDynamic() {
+	if g.resolved {
+		return
+	}
+	g.resolved = true
+	for caller := range g.dynCallers {
+		callees := g.Calls[caller]
+		for fn := range g.addressTaken {
+			callees[fn] = true
+		}
+	}
+	for caller, names := range g.dynMethods {
+		callees := g.Calls[caller]
+		for name := range names {
+			for _, fn := range g.methodsByName[name] {
+				callees[fn] = true
+			}
+		}
+	}
+}
+
+// Reaching computes the set of functions from which some seed function
+// is reachable through the call graph (the transitive "can reach a
+// seed" closure, seeds included).
+func (g *CallGraph) Reaching(seeds map[*types.Func]bool) map[*types.Func]bool {
+	g.resolveDynamic()
+	reach := make(map[*types.Func]bool, len(seeds))
+	for s := range seeds {
+		reach[s] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range g.Calls {
+			if reach[fn] {
+				continue
+			}
+			for c := range callees {
+				if reach[c] {
+					reach[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// FuncByFullName finds a function by its types.Func full name, e.g.
+// "math.IsNaN" or "datamarket/internal/server.errorStatus".
+func (prog *Program) FuncByFullName(full string) *types.Func {
+	for _, pkg := range prog.Packages {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if fn, ok := scope.Lookup(name).(*types.Func); ok && fn.FullName() == full {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// HasFloatComponent reports whether t contains a float64 reachable
+// through struct fields, slices, arrays, pointers, or maps — i.e.
+// whether a JSON decode into t can introduce attacker-controlled
+// floats. Named-type cycles terminate via the seen set.
+func HasFloatComponent(t types.Type) bool {
+	return hasFloat(t, make(map[types.Type]bool))
+}
+
+func hasFloat(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() == types.Float64 || u.Kind() == types.Float32
+	case *types.Pointer:
+		return hasFloat(u.Elem(), seen)
+	case *types.Slice:
+		return hasFloat(u.Elem(), seen)
+	case *types.Array:
+		return hasFloat(u.Elem(), seen)
+	case *types.Map:
+		return hasFloat(u.Elem(), seen) || hasFloat(u.Key(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hasFloat(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsFloatParam reports whether a parameter type is float64, []float64,
+// or a named type whose underlying chain is one of those (e.g.
+// linalg.Vector), including slices of such vectors.
+func IsFloatParam(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() == types.Float64 || u.Kind() == types.Float32
+	case *types.Slice:
+		return IsFloatParam(u.Elem())
+	}
+	return false
+}
+
+// ImplementsResponseWriter reports whether t implements
+// net/http.ResponseWriter (looked up in the program).
+func (prog *Program) ImplementsResponseWriter(t types.Type) bool {
+	httpPkg := prog.Lookup("net/http")
+	if httpPkg == nil || httpPkg.Types == nil {
+		return false
+	}
+	obj := httpPkg.Types.Scope().Lookup("ResponseWriter")
+	if obj == nil {
+		return false
+	}
+	iface, ok := obj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, iface)
+}

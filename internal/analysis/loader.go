@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The loader builds a Program without golang.org/x/tools/go/packages:
+// one `go list -deps -json` exec enumerates the dependency closure in
+// topological order, then every package is parsed with go/parser and
+// type-checked from source with go/types. CGO_ENABLED=0 keeps the file
+// sets pure Go so source type-checking needs no C toolchain.
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *listError
+	Incomplete bool
+
+	// targetPkg marks packages named by the lint patterns (loader
+	// state, not part of the go list schema).
+	targetPkg bool
+}
+
+type listError struct {
+	Pos string
+	Err string
+}
+
+// LoadConfig parameterizes Load.
+type LoadConfig struct {
+	// Dir is the working directory for `go list` (the module root or
+	// any directory inside it). Empty means the process working dir.
+	Dir string
+}
+
+// Load lists patterns plus their full dependency closure, parses and
+// type-checks everything from source, and returns the Program.
+func Load(cfg LoadConfig, patterns ...string) (*Program, error) {
+	pkgs, err := goList(cfg, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return typecheck(pkgs)
+}
+
+func goList(cfg LoadConfig, patterns []string) ([]*listPackage, error) {
+	args := []string{"list", "-e", "-deps", "-json=ImportPath,Dir,Standard,GoFiles,Imports,ImportMap,Error,Incomplete", "--"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	// Pure-Go builds: cgo packages (net, os/user, ...) fall back to
+	// their Go implementations, so every file go list reports can be
+	// type-checked without a C compiler or preprocessed cgo output.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	// -deps emits dependencies before dependents, interleaved, so the
+	// pattern-named targets aren't identifiable from ordering alone;
+	// one cheap extra exec without -deps resolves exactly them.
+	targets, err := goListTargets(cfg, patterns)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pkgs {
+		p.targetPkg = targets[p.ImportPath]
+	}
+	return pkgs, nil
+}
+
+func goListTargets(cfg LoadConfig, patterns []string) (map[string]bool, error) {
+	args := []string{"list", "-e", "--"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	targets := make(map[string]bool)
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			targets[line] = true
+		}
+	}
+	return targets, nil
+}
+
+// typecheck parses and type-checks the listed packages in dependency
+// order and assembles the Program.
+func typecheck(pkgs []*listPackage) (*Program, error) {
+	fset := token.NewFileSet()
+	prog := &Program{Fset: fset, Packages: make(map[string]*Package, len(pkgs))}
+	imp := &progImporter{prog: prog, byPath: make(map[string]*listPackage, len(pkgs))}
+	for _, lp := range pkgs {
+		imp.byPath[lp.ImportPath] = lp
+	}
+
+	// Parse all files up front, in parallel: parsing dominates wall
+	// time next to type-checking and is embarrassingly parallel.
+	type parsed struct {
+		files []*ast.File
+		errs  []error
+	}
+	parsedByPath := make(map[string]*parsed, len(pkgs))
+	var mu sync.Mutex
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, lp := range pkgs {
+		wg.Add(1)
+		go func(lp *listPackage) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pr := &parsed{}
+			for _, name := range lp.GoFiles {
+				path := filepath.Join(lp.Dir, name)
+				f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+				if err != nil {
+					pr.errs = append(pr.errs, err)
+				}
+				if f != nil {
+					pr.files = append(pr.files, f)
+				}
+			}
+			mu.Lock()
+			parsedByPath[lp.ImportPath] = pr
+			mu.Unlock()
+		}(lp)
+	}
+	wg.Wait()
+
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	for _, lp := range pkgs {
+		if lp.ImportPath == "unsafe" {
+			prog.Packages["unsafe"] = &Package{PkgPath: "unsafe", Types: types.Unsafe}
+			continue
+		}
+		pr := parsedByPath[lp.ImportPath]
+		pkg := &Package{
+			PkgPath: lp.ImportPath,
+			Dir:     lp.Dir,
+			Target:  lp.targetPkg,
+			Syntax:  pr.files,
+			Errors:  pr.errs,
+			TypesInfo: &types.Info{
+				Types:      make(map[ast.Expr]types.TypeAndValue),
+				Defs:       make(map[*ast.Ident]types.Object),
+				Uses:       make(map[*ast.Ident]types.Object),
+				Selections: make(map[*ast.SelectorExpr]*types.Selection),
+				Implicits:  make(map[ast.Node]types.Object),
+				Scopes:     make(map[ast.Node]*types.Scope),
+				Instances:  make(map[*ast.Ident]types.Instance),
+			},
+		}
+		imp.current = lp
+		conf := types.Config{
+			Importer:    imp,
+			Sizes:       sizes,
+			FakeImportC: true,
+			Error:       func(err error) { pkg.Errors = append(pkg.Errors, err) },
+		}
+		tpkg, _ := conf.Check(lp.ImportPath, fset, pr.files, pkg.TypesInfo)
+		pkg.Types = tpkg
+		prog.Packages[lp.ImportPath] = pkg
+		if pkg.Target {
+			prog.Targets = append(prog.Targets, pkg)
+		}
+	}
+
+	// Target packages must type-check cleanly — analyzers reason
+	// about their types. Dependencies may carry recoverable errors
+	// (e.g. platform-specific corners the source checker is stricter
+	// about than the compiler); those don't block the run.
+	var broken []string
+	for _, t := range prog.Targets {
+		if len(t.Errors) > 0 {
+			broken = append(broken, fmt.Sprintf("%s: %v", t.PkgPath, t.Errors[0]))
+		}
+	}
+	if len(broken) > 0 {
+		sort.Strings(broken)
+		return nil, fmt.Errorf("packages contain errors:\n  %s", strings.Join(broken, "\n  "))
+	}
+	return prog, nil
+}
+
+// progImporter resolves imports against the already-checked packages in
+// the Program. Because `go list -deps` emits dependencies first, every
+// import a package names has been checked by the time the package is.
+type progImporter struct {
+	prog    *Program
+	byPath  map[string]*listPackage
+	current *listPackage
+}
+
+func (im *progImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+func (im *progImporter) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	// ImportMap handles vendoring and the "net" → "vendor/golang.org/…"
+	// style stdlib vendor indirection.
+	if im.current != nil {
+		if mapped, ok := im.current.ImportMap[path]; ok {
+			path = mapped
+		}
+	}
+	if pkg := im.prog.Packages[path]; pkg != nil && pkg.Types != nil {
+		return pkg.Types, nil
+	}
+	if pkg := im.prog.Packages["vendor/"+path]; pkg != nil && pkg.Types != nil {
+		return pkg.Types, nil
+	}
+	return nil, fmt.Errorf("package %q not loaded", path)
+}

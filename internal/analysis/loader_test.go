@@ -1,0 +1,61 @@
+package analysis
+
+import "testing"
+
+// TestLoadRepo loads the whole repo the way cmd/datamarket-lint does
+// and sanity-checks the program: targets resolved, types clean, syntax
+// attached, cross-package type identity holding (one Program, one
+// type universe).
+func TestLoadRepo(t *testing.T) {
+	prog, err := Load(LoadConfig{Dir: "../.."}, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(prog.Targets) == 0 {
+		t.Fatal("no target packages")
+	}
+	for _, path := range []string{
+		"datamarket/api",
+		"datamarket/internal/server",
+		"datamarket/internal/pricing",
+		"datamarket/internal/store",
+		"datamarket/internal/market",
+	} {
+		pkg := prog.Lookup(path)
+		if pkg == nil {
+			t.Fatalf("package %s not loaded", path)
+		}
+		if !pkg.Target {
+			t.Errorf("package %s not marked as target", path)
+		}
+		if len(pkg.Errors) > 0 {
+			t.Errorf("package %s has type errors: %v", path, pkg.Errors[0])
+		}
+		if len(pkg.Syntax) == 0 {
+			t.Errorf("package %s has no syntax", path)
+		}
+	}
+	if prog.Lookup("net/http") == nil {
+		t.Error("dependency net/http not loaded")
+	}
+	// Cross-package identity: the server package's reference to
+	// pricing.Family must be the same type object as pricing's own.
+	server := prog.Lookup("datamarket/internal/server")
+	pricing := prog.Lookup("datamarket/internal/pricing")
+	fam := pricing.Types.Scope().Lookup("Family")
+	if fam == nil {
+		t.Fatal("pricing.Family not found")
+	}
+	found := false
+	for _, imp := range server.Types.Imports() {
+		if imp.Path() == "datamarket/internal/pricing" && imp == pricing.Types {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("server does not share pricing's *types.Package")
+	}
+	if prog.Fset == nil {
+		t.Error("program fset missing")
+	}
+}

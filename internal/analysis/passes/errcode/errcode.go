@@ -1,0 +1,276 @@
+// Package errcode enforces the repo's error-envelope contract:
+//
+//  1. Every exported error sentinel declared in the sentinel packages
+//     (server, pricing, market, store) must be explicitly mapped in the
+//     server's error-code table (errorStatus), so it reaches clients as
+//     a stable api.ErrorCode instead of falling through to the generic
+//     invalid_request default.
+//  2. Handler packages must never bypass the envelope writer: naked
+//     http.Error, fmt.Fprint-family writes to a ResponseWriter, and
+//     direct WriteHeader calls with error statuses all produce
+//     plain-text bodies that violate the machine-readable error
+//     contract.
+package errcode
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"datamarket/internal/analysis"
+)
+
+// Config parameterizes the analyzer so fixtures and the real tree can
+// share one implementation.
+type Config struct {
+	// SentinelPkgs are the packages whose exported sentinels must be
+	// mapped.
+	SentinelPkgs []string
+	// MapperPkg/MapperFunc name the error-code table: the function
+	// whose errors.Is chain defines the sentinel → code mapping.
+	MapperPkg  string
+	MapperFunc string
+	// HandlerPkgs are packages where envelope bypasses are flagged.
+	HandlerPkgs []string
+	// WriterAllow lists functions (by name, within HandlerPkgs) that
+	// are the sanctioned envelope writers and may call WriteHeader.
+	WriterAllow []string
+}
+
+// DefaultConfig is the repo's real wiring.
+func DefaultConfig() Config {
+	return Config{
+		SentinelPkgs: []string{
+			"datamarket/internal/server",
+			"datamarket/internal/pricing",
+			"datamarket/internal/market",
+			"datamarket/internal/store",
+		},
+		MapperPkg:   "datamarket/internal/server",
+		MapperFunc:  "errorStatus",
+		HandlerPkgs: []string{"datamarket/internal/server"},
+		WriterAllow: []string{"writeJSON"},
+	}
+}
+
+// NewAnalyzer builds the errcode analyzer with the given config.
+func NewAnalyzer(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:   "errcode",
+		Doc:    "checks that every exported error sentinel is mapped in the api error-code table and that handlers never bypass the JSON error envelope",
+		Anchor: cfg.MapperPkg,
+		Run:    func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+// Analyzer is the production instance.
+var Analyzer = NewAnalyzer(DefaultConfig())
+
+func run(pass *analysis.Pass, cfg Config) error {
+	checkSentinels(pass, cfg)
+	for _, path := range cfg.HandlerPkgs {
+		if pkg := pass.Prog.Lookup(path); pkg != nil {
+			checkBypasses(pass, cfg, pkg)
+		}
+	}
+	return nil
+}
+
+// --- sentinel mapping ---
+
+func checkSentinels(pass *analysis.Pass, cfg Config) {
+	type sentinel struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var sentinels []sentinel
+	for _, path := range cfg.SentinelPkgs {
+		pkg := pass.Prog.Lookup(path)
+		if pkg == nil {
+			continue
+		}
+		for _, f := range pkg.Syntax {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if !name.IsExported() || i >= len(vs.Values) {
+							continue
+						}
+						if !isErrorCtorCall(pkg.TypesInfo, vs.Values[i]) {
+							continue
+						}
+						obj := pkg.TypesInfo.Defs[name]
+						if obj == nil {
+							continue
+						}
+						sentinels = append(sentinels, sentinel{obj: obj, pos: name.Pos()})
+					}
+				}
+			}
+		}
+	}
+
+	mapped := mappedSentinels(pass, cfg)
+	for _, s := range sentinels {
+		if !mapped[s.obj] {
+			pass.Reportf(s.pos,
+				"error sentinel %s.%s is not mapped in the api error-code table (%s.%s); clients will see the generic invalid_request code",
+				s.obj.Pkg().Name(), s.obj.Name(), shortPkg(cfg.MapperPkg), cfg.MapperFunc)
+		}
+	}
+}
+
+// isErrorCtorCall reports whether e is errors.New(...) or
+// fmt.Errorf(...).
+func isErrorCtorCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.CalleeOf(info, call)
+	if fn == nil {
+		return false
+	}
+	full := fn.FullName()
+	return full == "errors.New" || full == "fmt.Errorf"
+}
+
+// mappedSentinels collects every object that appears as the target of
+// an errors.Is(err, X) comparison inside the mapper function.
+func mappedSentinels(pass *analysis.Pass, cfg Config) map[types.Object]bool {
+	mapped := make(map[types.Object]bool)
+	pkg := pass.Prog.Lookup(cfg.MapperPkg)
+	if pkg == nil {
+		return mapped
+	}
+	var mapper *ast.FuncDecl
+	for _, f := range pkg.Syntax {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == cfg.MapperFunc {
+				mapper = fd
+			}
+		}
+	}
+	if mapper == nil || mapper.Body == nil {
+		// Without a mapper there is nothing to check sentinels
+		// against; report at the package level would be noisy, so
+		// treat every sentinel as unmapped (empty map).
+		return mapped
+	}
+	ast.Inspect(mapper.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeOf(pkg.TypesInfo, call)
+		if fn == nil || fn.FullName() != "errors.Is" || len(call.Args) != 2 {
+			return true
+		}
+		if obj := objectOf(pkg.TypesInfo, call.Args[1]); obj != nil {
+			mapped[obj] = true
+		}
+		return true
+	})
+	return mapped
+}
+
+func objectOf(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// --- envelope bypasses ---
+
+func checkBypasses(pass *analysis.Pass, cfg Config, pkg *analysis.Package) {
+	allow := make(map[string]bool, len(cfg.WriterAllow))
+	for _, name := range cfg.WriterAllow {
+		allow[name] = true
+	}
+	for _, f := range pkg.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if allow[fd.Name.Name] {
+				continue
+			}
+			// Methods named WriteHeader are ResponseWriter wrappers
+			// forwarding the status (envelopeWriter, statusRecorder);
+			// the wrapped writer ultimately flows through writeJSON.
+			wrapperForward := fd.Recv != nil && fd.Name.Name == "WriteHeader"
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkBypassCall(pass, pkg, call, wrapperForward)
+				return true
+			})
+		}
+	}
+}
+
+func checkBypassCall(pass *analysis.Pass, pkg *analysis.Package, call *ast.CallExpr, wrapperForward bool) {
+	info := pkg.TypesInfo
+	if fn := analysis.CalleeOf(info, call); fn != nil {
+		switch fn.FullName() {
+		case "net/http.Error":
+			pass.Reportf(call.Pos(),
+				"http.Error writes a plain-text body, bypassing the JSON error envelope; use the envelope writer instead")
+			return
+		case "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln", "io.WriteString":
+			if len(call.Args) > 0 && pass.Prog.ImplementsResponseWriter(typeOf(info, call.Args[0])) {
+				pass.Reportf(call.Pos(),
+					"%s to an http.ResponseWriter bypasses the JSON error envelope; use the envelope writer instead", fn.Name())
+			}
+			return
+		}
+	}
+	// w.WriteHeader(status) with a constant error status outside the
+	// sanctioned writers.
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteHeader" || len(call.Args) != 1 || wrapperForward {
+		return
+	}
+	if !pass.Prog.ImplementsResponseWriter(typeOf(info, sel.X)) {
+		return
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return
+	}
+	if status, ok := constant.Int64Val(tv.Value); ok && status >= 400 {
+		pass.Reportf(call.Pos(),
+			"WriteHeader(%d) outside the envelope writer emits an error response with no JSON envelope", status)
+	}
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

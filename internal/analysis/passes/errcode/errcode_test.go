@@ -1,0 +1,12 @@
+package errcode_test
+
+import (
+	"testing"
+
+	"datamarket/internal/analysis/analysistest"
+	"datamarket/internal/analysis/passes/errcode"
+)
+
+func TestErrcode(t *testing.T) {
+	analysistest.Run(t, "testdata", errcode.Analyzer)
+}

@@ -1,0 +1,12 @@
+// Package api is the fixture wire-contract package.
+package api
+
+// ErrorCode is the stable machine-readable error code.
+type ErrorCode string
+
+// Fixture codes.
+const (
+	CodeInvalidRequest ErrorCode = "invalid_request"
+	CodeStreamExists   ErrorCode = "stream_exists"
+	CodeUnavailable    ErrorCode = "unavailable"
+)

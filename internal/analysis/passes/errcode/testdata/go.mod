@@ -1,0 +1,7 @@
+// Fixture module for the errcode analyzer. Declaring `module
+// datamarket` gives fixture packages the real import paths the
+// analyzer's default config anchors on, while the nested go.mod keeps
+// them out of the parent module's ./... patterns.
+module datamarket
+
+go 1.24

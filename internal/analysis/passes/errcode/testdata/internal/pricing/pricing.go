@@ -1,0 +1,16 @@
+// Package pricing is the fixture pricing package: its exported
+// sentinel is mapped by the server's error table, so nothing here is
+// flagged.
+package pricing
+
+import "errors"
+
+// ErrPendingRound is mapped in the server fixture's errorStatus.
+var ErrPendingRound = errors.New("pricing: round already pending")
+
+// errInternal is unexported: only exported sentinels participate in
+// the wire contract, so this needs no mapping.
+var errInternal = errors.New("pricing: internal")
+
+// Touch keeps the unexported sentinel referenced.
+func Touch() error { return errInternal }

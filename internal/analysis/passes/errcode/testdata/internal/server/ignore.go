@@ -1,0 +1,16 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// handleSuppressed proves the escape hatch is surgical: the annotated
+// bypass is silenced, the identical bypass on the next line is not,
+// and a directive naming a different analyzer suppresses nothing.
+func handleSuppressed(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "legacy probe endpoint", 400) //lint:ignore errcode plain-text kept for probe compatibility until clients migrate
+	http.Error(w, "unannotated twin", 400)      // want "http.Error writes a plain-text body"
+	//lint:ignore floatguard wrong analyzer name, must not silence errcode
+	fmt.Fprint(w, "still flagged") // want "Fprint to an http.ResponseWriter bypasses"
+}

@@ -1,0 +1,72 @@
+// Package server is the fixture handler package: sentinels, the error
+// table, the sanctioned envelope writer, and a museum of bypasses.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"datamarket/api"
+	"datamarket/internal/pricing"
+)
+
+// Sentinels: ErrStreamExists is mapped below; ErrStreamGone is not.
+var (
+	ErrStreamExists = errors.New("server: stream exists")
+	ErrStreamGone   = errors.New("server: stream gone") // want "error sentinel server.ErrStreamGone is not mapped"
+)
+
+// errorStatus is the fixture error-code table.
+func errorStatus(err error) (int, api.ErrorCode) {
+	switch {
+	case errors.Is(err, ErrStreamExists):
+		return http.StatusConflict, api.CodeStreamExists
+	case errors.Is(err, pricing.ErrPendingRound):
+		return http.StatusConflict, api.CodeUnavailable
+	default:
+		return http.StatusBadRequest, api.CodeInvalidRequest
+	}
+}
+
+// writeJSON is the sanctioned envelope writer; its WriteHeader call is
+// allowlisted.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleGood routes every error through the envelope writer.
+func handleGood(w http.ResponseWriter, r *http.Request) {
+	status, code := errorStatus(ErrStreamExists)
+	writeJSON(w, status, code)
+}
+
+// handleBypasses demonstrates every way to leak a plain-text error.
+func handleBypasses(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", http.StatusBadRequest)   // want "http.Error writes a plain-text body"
+	fmt.Fprintf(w, "raw error: %v", ErrStreamGone) // want "Fprintf to an http.ResponseWriter bypasses"
+	w.WriteHeader(http.StatusInternalServerError)  // want `WriteHeader\(500\) outside the envelope writer`
+}
+
+// handleOK shows the non-flagging cases: success statuses are fine,
+// and printing to a non-ResponseWriter is fine.
+func handleOK(w http.ResponseWriter, r *http.Request) {
+	fmt.Println("logging is fine")
+	w.WriteHeader(http.StatusNoContent)
+	writeJSON(w, http.StatusOK, "ok")
+}
+
+// statusRecorder is a ResponseWriter wrapper; its forwarding
+// WriteHeader method is exempt.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}

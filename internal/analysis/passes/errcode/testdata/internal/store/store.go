@@ -1,0 +1,9 @@
+// Package store is the fixture journal package with a sentinel the
+// server forgot to map — the exact true positive the analyzer exists
+// to catch.
+package store
+
+import "errors"
+
+// ErrClosed is not mapped in the server fixture's errorStatus.
+var ErrClosed = errors.New("store: closed") // want "error sentinel store.ErrClosed is not mapped"

@@ -1,0 +1,323 @@
+// Package floatguard enforces the repo's non-finite-input discipline.
+// NaN/Inf bugs were fixed piecemeal in earlier PRs (NaN valuations
+// poisoning ellipsoid state, Inf radii, non-finite mapped features);
+// this pass makes the convention mechanical:
+//
+// Rule A (wire boundary): an HTTP handler that decodes a request type
+// carrying float64 fields must reach a non-finite check
+// (math.IsNaN/math.IsInf) somewhere in its call graph before the
+// floats can sink into mechanism state.
+//
+// Rule B (constructors): an exported constructor (New*/Restore*) in the
+// guarded packages that takes raw float64/[]float64 parameters must
+// validate each of them — a plain `x <= 0` comparison is NOT a
+// validation, because every ordered comparison with NaN is false and
+// the guard silently admits it.
+package floatguard
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"datamarket/internal/analysis"
+)
+
+// Config parameterizes the analyzer.
+type Config struct {
+	// BoundaryPkgs hold the HTTP handlers checked under Rule A.
+	BoundaryPkgs []string
+	// DecoderFuncs name the functions whose calls mark a wire decode;
+	// the decoded type is the pointed-to type of the last argument,
+	// or the first result type if no pointer argument is present.
+	DecoderFuncs []string
+	// ConstructorPkgs are checked under Rule B.
+	ConstructorPkgs []string
+	// Anchor is the package whose presence triggers the (whole
+	// program) analyzer.
+	Anchor string
+}
+
+// DefaultConfig is the repo's real wiring.
+func DefaultConfig() Config {
+	return Config{
+		BoundaryPkgs: []string{"datamarket/internal/server"},
+		DecoderFuncs: []string{"readJSON", "DecodeEnvelope"},
+		ConstructorPkgs: []string{
+			"datamarket/internal/pricing",
+			"datamarket/internal/privacy",
+			"datamarket/internal/market",
+			"datamarket/internal/kernel",
+			"datamarket/internal/ellipsoid",
+			"datamarket/internal/server",
+		},
+		Anchor: "datamarket/internal/server",
+	}
+}
+
+// NewAnalyzer builds the floatguard analyzer with the given config.
+func NewAnalyzer(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:   "floatguard",
+		Doc:    "checks that wire-facing handlers and exported constructors validate float64 inputs against NaN/Inf before use",
+		Anchor: cfg.Anchor,
+		Run:    func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+// Analyzer is the production instance.
+var Analyzer = NewAnalyzer(DefaultConfig())
+
+func run(pass *analysis.Pass, cfg Config) error {
+	graph := analysis.BuildCallGraph(pass.Prog.Targets)
+	seeds := make(map[*types.Func]bool)
+	for _, name := range []string{"math.IsNaN", "math.IsInf"} {
+		if fn := pass.Prog.FuncByFullName(name); fn != nil {
+			seeds[fn] = true
+		}
+	}
+	sanitizers := graph.Reaching(seeds)
+
+	for _, path := range cfg.BoundaryPkgs {
+		if pkg := pass.Prog.Lookup(path); pkg != nil {
+			checkBoundary(pass, cfg, pkg, graph, sanitizers)
+		}
+	}
+	for _, path := range cfg.ConstructorPkgs {
+		if pkg := pass.Prog.Lookup(path); pkg != nil {
+			checkConstructors(pass, pkg, sanitizers)
+		}
+	}
+	return nil
+}
+
+// --- Rule A: wire boundary ---
+
+func checkBoundary(pass *analysis.Pass, cfg Config, pkg *analysis.Package, graph *analysis.CallGraph, sanitizers map[*types.Func]bool) {
+	decoder := make(map[string]bool, len(cfg.DecoderFuncs))
+	for _, name := range cfg.DecoderFuncs {
+		decoder[name] = true
+	}
+	for fn, fd := range graph.Decls {
+		if fn.Pkg() == nil || fn.Pkg().Path() != pkg.PkgPath {
+			continue
+		}
+		if !isHandlerShaped(pass.Prog, fn) {
+			continue
+		}
+		decoded := decodedFloatType(pkg.TypesInfo, fd, decoder)
+		if decoded == nil {
+			continue
+		}
+		if sanitizers[fn] {
+			continue
+		}
+		pass.Reportf(fd.Name.Pos(),
+			"handler %s decodes %s, which carries float64 fields from the wire, but its call graph never reaches a non-finite check (math.IsNaN/math.IsInf)",
+			fd.Name.Name, types.TypeString(decoded, types.RelativeTo(pkg.Types)))
+	}
+}
+
+// isHandlerShaped reports whether fn has the
+// (http.ResponseWriter, *http.Request) signature.
+func isHandlerShaped(prog *analysis.Program, fn *types.Func) bool {
+	sig := fn.Signature()
+	params := sig.Params()
+	if params.Len() != 2 || sig.Results().Len() != 0 {
+		return false
+	}
+	if !prog.ImplementsResponseWriter(params.At(0).Type()) {
+		return false
+	}
+	ptr, ok := params.At(1).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Request" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "net/http"
+}
+
+// decodedFloatType returns the first float-bearing type the handler
+// decodes from the wire via a decoder func, or nil.
+func decodedFloatType(info *types.Info, fd *ast.FuncDecl, decoder map[string]bool) types.Type {
+	var result types.Type
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if result != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeOf(info, call)
+		if fn == nil || !decoder[fn.Name()] {
+			return true
+		}
+		if t := decodeTarget(info, call, fn); t != nil && analysis.HasFloatComponent(t) {
+			result = t
+		}
+		return true
+	})
+	return result
+}
+
+// decodeTarget extracts the decoded type from a decoder call: the
+// element type of the last pointer argument (readJSON(w, r, &req)
+// style), else the first pointer result (DecodeEnvelope(data) style).
+func decodeTarget(info *types.Info, call *ast.CallExpr, fn *types.Func) types.Type {
+	for i := len(call.Args) - 1; i >= 0; i-- {
+		if tv, ok := info.Types[call.Args[i]]; ok {
+			if ptr, ok := tv.Type.Underlying().(*types.Pointer); ok {
+				return ptr.Elem()
+			}
+		}
+	}
+	results := fn.Signature().Results()
+	for i := 0; i < results.Len(); i++ {
+		if ptr, ok := results.At(i).Type().Underlying().(*types.Pointer); ok {
+			return ptr.Elem()
+		}
+	}
+	return nil
+}
+
+// --- Rule B: constructors ---
+
+func checkConstructors(pass *analysis.Pass, pkg *analysis.Package, sanitizers map[*types.Func]bool) {
+	for _, f := range pkg.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil {
+				continue
+			}
+			name := fd.Name.Name
+			if !fd.Name.IsExported() ||
+				(!strings.HasPrefix(name, "New") && !strings.HasPrefix(name, "Restore")) {
+				continue
+			}
+			checkConstructor(pass, pkg, fd, sanitizers)
+		}
+	}
+}
+
+func checkConstructor(pass *analysis.Pass, pkg *analysis.Package, fd *ast.FuncDecl, sanitizers map[*types.Func]bool) {
+	info := pkg.TypesInfo
+	type floatParam struct {
+		name *ast.Ident
+		obj  types.Object
+	}
+	var params []floatParam
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !analysis.IsFloatParam(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				params = append(params, floatParam{name: name, obj: obj})
+			}
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+
+	// Aliases: range-value variables over a float slice param carry
+	// the param's taint (`for _, v := range xs { math.IsNaN(v) }`),
+	// transitively through nested ranges (`for _, vec := range xs {
+	// for _, v := range vec { ... } }`). ast.Inspect is pre-order, so
+	// outer ranges are registered before inner ones resolve them.
+	paramObj := make(map[types.Object]bool, len(params))
+	for _, p := range params {
+		paramObj[p.obj] = true
+	}
+	aliases := make(map[types.Object]types.Object) // alias → root param
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		rangedID, ok := ast.Unparen(rs.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		ranged := info.Uses[rangedID]
+		if ranged == nil {
+			return true
+		}
+		root := ranged
+		if r, ok := aliases[ranged]; ok {
+			root = r
+		}
+		if !paramObj[root] {
+			return true
+		}
+		if vid, ok := rs.Value.(*ast.Ident); ok {
+			if vobj := info.Defs[vid]; vobj != nil {
+				aliases[vobj] = root
+			}
+		}
+		return true
+	})
+
+	// A param is validated when it (or an alias) appears inside a
+	// call to a sanitizing function, or flows into another
+	// constructor (which this pass checks in its own right).
+	validated := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeOf(info, call)
+		if fn == nil {
+			return true
+		}
+		sanitizing := sanitizers[fn]
+		forwarding := strings.HasPrefix(fn.Name(), "New") || strings.HasPrefix(fn.Name(), "Restore")
+		if !sanitizing && !forwarding {
+			return true
+		}
+		markParamUses(info, call, aliases, validated)
+		return true
+	})
+
+	for _, p := range params {
+		if validated[p.obj] {
+			continue
+		}
+		pass.Reportf(p.name.Pos(),
+			"exported constructor %s takes float parameter %q but never checks it for NaN/Inf (ordered comparisons like `%s <= 0` are false for NaN and admit it)",
+			fd.Name.Name, p.name.Name, p.name.Name)
+	}
+}
+
+// markParamUses records every param (directly or via alias) mentioned
+// in the call's arguments or receiver expression.
+func markParamUses(info *types.Info, call *ast.CallExpr, aliases map[types.Object]types.Object, validated map[types.Object]bool) {
+	scan := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if p, ok := aliases[obj]; ok {
+				validated[p] = true
+			} else {
+				validated[obj] = true
+			}
+			return true
+		})
+	}
+	for _, arg := range call.Args {
+		scan(arg)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		scan(sel.X)
+	}
+}

@@ -1,0 +1,12 @@
+package floatguard_test
+
+import (
+	"testing"
+
+	"datamarket/internal/analysis/analysistest"
+	"datamarket/internal/analysis/passes/floatguard"
+)
+
+func TestFloatguard(t *testing.T) {
+	analysistest.Run(t, "testdata", floatguard.Analyzer)
+}

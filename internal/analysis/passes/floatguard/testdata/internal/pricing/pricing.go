@@ -1,0 +1,62 @@
+// Package pricing is the floatguard constructor fixture: exported
+// New*/Restore* functions taking floats must check them for NaN/Inf,
+// because ordered comparisons silently admit NaN.
+package pricing
+
+import (
+	"errors"
+	"math"
+)
+
+// Mechanism is the constructed type.
+type Mechanism struct {
+	eta    float64
+	bounds []float64
+}
+
+// NewUnchecked relies on an ordered comparison, which NaN passes.
+func NewUnchecked(eta float64) (*Mechanism, error) { // want "exported constructor NewUnchecked takes float parameter \"eta\""
+	if eta <= 0 {
+		return nil, errors.New("eta must be positive")
+	}
+	return &Mechanism{eta: eta}, nil
+}
+
+// NewChecked rejects non-finite input before the sign check.
+func NewChecked(eta float64) (*Mechanism, error) {
+	if math.IsNaN(eta) || math.IsInf(eta, 0) || eta <= 0 {
+		return nil, errors.New("eta must be finite and positive")
+	}
+	return &Mechanism{eta: eta}, nil
+}
+
+// NewForwarded delegates to NewChecked; forwarding a float into
+// another constructor counts, since that constructor is checked in
+// its own right.
+func NewForwarded(eta float64) (*Mechanism, error) {
+	return NewChecked(eta)
+}
+
+// NewFromBounds validates each element through a range alias.
+func NewFromBounds(bounds []float64) (*Mechanism, error) {
+	for _, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, errors.New("bounds must be finite")
+		}
+	}
+	return &Mechanism{bounds: bounds}, nil
+}
+
+// Scale is exported and takes a float, but only constructors carry the
+// wire-ingestion contract, so it is not flagged.
+func Scale(m *Mechanism, factor float64) {
+	m.eta *= factor
+}
+
+// NewGrandfathered is a known hole kept on purpose; the suppression
+// names the analyzer and the reason.
+//
+//lint:ignore floatguard caller is trusted internal replay code, input never crosses the wire
+func NewGrandfathered(eta float64) *Mechanism {
+	return &Mechanism{eta: eta}
+}

@@ -1,0 +1,111 @@
+// Package server is the floatguard boundary fixture: handlers that
+// decode float-bearing wire types must reach a non-finite check
+// somewhere in their call graph.
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+)
+
+// bidRequest carries float64 fields from the wire.
+type bidRequest struct {
+	Price  float64   `json:"price"`
+	Vector []float64 `json:"vector"`
+}
+
+// nameRequest carries no floats; decoding it needs no sanitizer.
+type nameRequest struct {
+	Name string `json:"name"`
+}
+
+// readJSON is the configured decoder: its pointer argument marks what
+// the handler pulls off the wire.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		w.WriteHeader(http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// validate is the shared sanitizer; reaching it (at any depth)
+// satisfies the boundary rule.
+func validate(req *bidRequest) bool {
+	if math.IsNaN(req.Price) || math.IsInf(req.Price, 0) {
+		return false
+	}
+	for _, v := range req.Vector {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// admit is an intermediate hop between a handler and the sanitizer.
+func admit(req *bidRequest) bool { return validate(req) }
+
+// handleUnchecked decodes floats and never sanitizes them.
+func handleUnchecked(w http.ResponseWriter, r *http.Request) { // want "handler handleUnchecked decodes bidRequest"
+	var req bidRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	_ = req.Price
+}
+
+// handleChecked calls the sanitizer directly.
+func handleChecked(w http.ResponseWriter, r *http.Request) {
+	var req bidRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if !validate(&req) {
+		w.WriteHeader(http.StatusBadRequest)
+	}
+}
+
+// handleIndirect reaches the sanitizer through a helper, proving the
+// check is transitive over the call graph.
+func handleIndirect(w http.ResponseWriter, r *http.Request) {
+	var req bidRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if !admit(&req) {
+		w.WriteHeader(http.StatusBadRequest)
+	}
+}
+
+// handleNoFloats decodes a float-free type; nothing to sanitize.
+func handleNoFloats(w http.ResponseWriter, r *http.Request) {
+	var req nameRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	_ = req.Name
+}
+
+// handleLegacy predates the finite-check contract; the suppression is
+// explicit and carries its reason.
+//
+//lint:ignore floatguard legacy ingest path, values are clamped downstream
+func handleLegacy(w http.ResponseWriter, r *http.Request) {
+	var req bidRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	_ = req.Price
+}
+
+// handleLegacyTwin is identical but unannotated, proving the directive
+// above silences exactly one diagnostic.
+func handleLegacyTwin(w http.ResponseWriter, r *http.Request) { // want "handler handleLegacyTwin decodes bidRequest"
+	var req bidRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	_ = req.Price
+}

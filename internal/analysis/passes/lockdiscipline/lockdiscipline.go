@@ -1,0 +1,411 @@
+// Package lockdiscipline enforces the registry's locking rules:
+//
+//  1. No blocking I/O while holding a mutex: calls into net/http, net,
+//     os, or time.Sleep under a held Lock/RLock stall every reader of
+//     that shard. The journaled write-ahead path (calls into the store
+//     package) is the one sanctioned exception — registry lifecycle
+//     events journal under the shard write lock by design.
+//  2. Visit callbacks run under the shard read lock: calling back into
+//     the registry self-deadlocks, and acquiring any other mutex inside
+//     the callback creates a lock-order edge that must be justified
+//     (the persister's documented shard → revMu order carries a
+//     //lint:ignore for exactly this reason).
+//  3. The same re-entry rule applies to LifecycleObserver methods,
+//     which run under the shard write lock.
+//  4. Mutexes must not be copied: parameters, receivers, and results
+//     that carry a sync.Mutex/RWMutex by value are flagged.
+package lockdiscipline
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"datamarket/internal/analysis"
+)
+
+// Config parameterizes the analyzer.
+type Config struct {
+	// Pkgs are the packages whose functions are checked.
+	Pkgs []string
+	// BlockingPkgs are import paths whose calls count as blocking I/O.
+	BlockingPkgs []string
+	// BlockingFuncs are fully-qualified extra blocking functions.
+	BlockingFuncs []string
+	// ExemptCalleePkgs may be called while holding a lock (the
+	// journaled write-ahead path).
+	ExemptCalleePkgs []string
+	// RegistryType names the sharded registry type (in Pkgs) whose
+	// Visit callbacks and observers are lock-sensitive.
+	RegistryType string
+	// VisitMethod is the registry's visit-under-lock method name.
+	VisitMethod string
+	// ObserverMethods are lifecycle-callback method names that run
+	// under the registry shard lock.
+	ObserverMethods []string
+	// Anchor triggers the whole-program analyzer.
+	Anchor string
+}
+
+// DefaultConfig is the repo's real wiring.
+func DefaultConfig() Config {
+	return Config{
+		Pkgs:             []string{"datamarket/internal/server"},
+		BlockingPkgs:     []string{"net/http", "net", "os"},
+		BlockingFuncs:    []string{"time.Sleep"},
+		ExemptCalleePkgs: []string{"datamarket/internal/store"},
+		RegistryType:     "Registry",
+		VisitMethod:      "Visit",
+		ObserverMethods:  []string{"StreamCreated", "StreamRestored", "StreamDeleted"},
+		Anchor:           "datamarket/internal/server",
+	}
+}
+
+// NewAnalyzer builds the lockdiscipline analyzer with the given config.
+func NewAnalyzer(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:   "lockdiscipline",
+		Doc:    "checks registry locking rules: no blocking I/O under a shard lock, no registry re-entry or lock acquisition in Visit/observer callbacks, no mutex copies",
+		Anchor: cfg.Anchor,
+		Run:    func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+// Analyzer is the production instance.
+var Analyzer = NewAnalyzer(DefaultConfig())
+
+func run(pass *analysis.Pass, cfg Config) error {
+	for _, path := range cfg.Pkgs {
+		pkg := pass.Prog.Lookup(path)
+		if pkg == nil {
+			continue
+		}
+		for _, f := range pkg.Syntax {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkHeldLocks(pass, cfg, pkg, fd)
+				checkVisitCallbacks(pass, cfg, pkg, fd)
+				checkObserver(pass, cfg, pkg, fd)
+				checkMutexCopies(pass, pkg, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// --- rule 1: blocking calls under a held lock ---
+
+func checkHeldLocks(pass *analysis.Pass, cfg Config, pkg *analysis.Package, fd *ast.FuncDecl) {
+	walkLockRegions(pkg.TypesInfo, fd.Body, make(map[string]bool), func(stmt ast.Stmt, held map[string]bool) {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				// Literal bodies run at call time, not necessarily
+				// under the lock; Visit callbacks have their own rule.
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeOf(pkg.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			for _, exempt := range cfg.ExemptCalleePkgs {
+				if path == exempt {
+					return true
+				}
+			}
+			blocking := false
+			for _, p := range cfg.BlockingPkgs {
+				if path == p {
+					blocking = true
+				}
+			}
+			for _, f := range cfg.BlockingFuncs {
+				if fn.FullName() == f {
+					blocking = true
+				}
+			}
+			if blocking {
+				pass.Reportf(call.Pos(),
+					"call to %s while holding %s: blocking I/O under a lock stalls every contender (release the lock first, or route through the journaled store path)",
+					fn.FullName(), heldNames(held))
+			}
+			return true
+		})
+	})
+}
+
+// walkLockRegions walks stmts in order, tracking which mutexes are
+// held (by receiver expression spelling), and invokes visit for every
+// statement executed with at least one lock held. Branch bodies get a
+// copy of the held set — releases inside a branch don't leak out,
+// which over-approximates "held" on the joined path; that is the safe
+// direction for this check.
+func walkLockRegions(info *types.Info, body *ast.BlockStmt, held map[string]bool, visit func(ast.Stmt, map[string]bool)) {
+	for _, stmt := range body.List {
+		lock, unlock, name := lockOp(info, stmt)
+		switch {
+		case lock:
+			held[name] = true
+			continue
+		case unlock:
+			delete(held, name)
+			continue
+		}
+		if len(held) > 0 {
+			visit(stmt, held)
+		}
+		switch s := stmt.(type) {
+		case *ast.BlockStmt:
+			walkLockRegions(info, s, copyHeld(held), visit)
+		case *ast.IfStmt:
+			walkLockRegions(info, s.Body, copyHeld(held), visit)
+			if els, ok := s.Else.(*ast.BlockStmt); ok {
+				walkLockRegions(info, els, copyHeld(held), visit)
+			}
+		case *ast.ForStmt:
+			walkLockRegions(info, s.Body, copyHeld(held), visit)
+		case *ast.RangeStmt:
+			walkLockRegions(info, s.Body, copyHeld(held), visit)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLockRegions(info, &ast.BlockStmt{List: cc.Body}, copyHeld(held), visit)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLockRegions(info, &ast.BlockStmt{List: cc.Body}, copyHeld(held), visit)
+				}
+			}
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	cp := make(map[string]bool, len(held))
+	for k, v := range held {
+		cp[k] = v
+	}
+	return cp
+}
+
+// lockOp classifies a statement as a lock acquire/release on a
+// sync.Mutex/RWMutex. Deferred unlocks keep the lock held for the rest
+// of the function, so they are deliberately NOT treated as releases.
+func lockOp(info *types.Info, stmt ast.Stmt) (lock, unlock bool, name string) {
+	var call *ast.CallExpr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		// defer mu.Unlock(): still held for every following statement.
+		return false, false, ""
+	}
+	if call == nil {
+		return false, false, ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !isMutexType(typeOf(info, sel.X)) {
+		return false, false, ""
+	}
+	name = exprPath(sel.X)
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return true, false, name
+	case "Unlock", "RUnlock":
+		return false, true, name
+	}
+	return false, false, ""
+}
+
+// --- rule 2: Visit callbacks ---
+
+func checkVisitCallbacks(pass *analysis.Pass, cfg Config, pkg *analysis.Package, fd *ast.FuncDecl) {
+	info := pkg.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != cfg.VisitMethod {
+			return true
+		}
+		if !isRegistryType(typeOf(info, sel.X), cfg, pkg.PkgPath) {
+			return true
+		}
+		for _, arg := range call.Args {
+			lit, ok := arg.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			checkUnderShardLock(pass, cfg, pkg, lit.Body,
+				fmt.Sprintf("inside a %s.%s callback (runs under the shard lock)", cfg.RegistryType, cfg.VisitMethod))
+		}
+		return true
+	})
+}
+
+// --- rule 3: observer methods ---
+
+func checkObserver(pass *analysis.Pass, cfg Config, pkg *analysis.Package, fd *ast.FuncDecl) {
+	if fd.Recv == nil {
+		return
+	}
+	observer := false
+	for _, m := range cfg.ObserverMethods {
+		if fd.Name.Name == m {
+			observer = true
+		}
+	}
+	if !observer {
+		return
+	}
+	checkUnderShardLock(pass, cfg, pkg, fd.Body,
+		fmt.Sprintf("inside lifecycle observer %s (runs under the registry shard write lock)", fd.Name.Name))
+}
+
+// checkUnderShardLock flags registry re-entry and mutex acquisition in
+// a body known to execute under a registry shard lock.
+func checkUnderShardLock(pass *analysis.Pass, cfg Config, pkg *analysis.Package, body *ast.BlockStmt, where string) {
+	info := pkg.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv := typeOf(info, sel.X)
+		if isRegistryType(recv, cfg, pkg.PkgPath) {
+			pass.Reportf(call.Pos(),
+				"call to %s.%s %s would re-enter the registry lock and deadlock",
+				cfg.RegistryType, sel.Sel.Name, where)
+			return true
+		}
+		if isMutexType(recv) && (sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+			pass.Reportf(call.Pos(),
+				"acquiring %s.%s %s adds a lock-order edge; document the order and //lint:ignore if intended",
+				exprPath(sel.X), sel.Sel.Name, where)
+		}
+		return true
+	})
+}
+
+// --- rule 4: mutex copies ---
+
+func checkMutexCopies(pass *analysis.Pass, pkg *analysis.Package, fd *ast.FuncDecl) {
+	info := pkg.TypesInfo
+	check := func(fields *ast.FieldList, kind string) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			tv, ok := info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if containsMutex(tv.Type, make(map[types.Type]bool)) {
+				pass.Reportf(field.Type.Pos(),
+					"%s of %s passes a mutex by value; copies of a locked mutex deadlock — use a pointer", kind, fd.Name.Name)
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+	check(fd.Type.Results, "result")
+}
+
+// --- shared helpers ---
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// containsMutex reports whether t carries a sync.Mutex/RWMutex by
+// value (directly, or through struct fields / arrays). Pointers,
+// slices, maps, and channels stop the walk — they share, not copy.
+func containsMutex(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isMutexType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsMutex(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutex(u.Elem(), seen)
+	}
+	return false
+}
+
+func isRegistryType(t types.Type, cfg Config, pkgPath string) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == cfg.RegistryType &&
+		obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+func exprPath(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprPath(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return exprPath(x.X)
+	case *ast.IndexExpr:
+		return exprPath(x.X) + "[...]"
+	}
+	return "?"
+}
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for n := range held {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

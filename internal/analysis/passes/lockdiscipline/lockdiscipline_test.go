@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"datamarket/internal/analysis/analysistest"
+	"datamarket/internal/analysis/passes/lockdiscipline"
+)
+
+func TestLockdiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", lockdiscipline.Analyzer)
+}

@@ -1,0 +1,7 @@
+// Fixture module for the lockdiscipline analyzer. It declares `module
+// datamarket` so fixture packages occupy the import paths the default
+// config anchors on, while the nested go.mod keeps them out of the
+// parent module's ./... build, test, and lint patterns.
+module datamarket
+
+go 1.24

@@ -1,0 +1,126 @@
+// Package server is the lockdiscipline fixture: a sharded registry
+// with Visit-under-lock semantics, lifecycle observers, and a museum
+// of locking mistakes.
+package server
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"datamarket/internal/store"
+)
+
+type stream struct{ name string }
+
+// Registry is the fixture's lock-sensitive type.
+type Registry struct {
+	mu      sync.RWMutex
+	streams map[string]*stream
+}
+
+// Visit runs fn for every stream under the shard read lock.
+func (reg *Registry) Visit(fn func(s *stream)) {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	for _, s := range reg.streams {
+		fn(s)
+	}
+}
+
+// Get takes the shard lock itself — calling it from a Visit callback
+// or observer re-enters the lock.
+func (reg *Registry) Get(name string) *stream {
+	reg.mu.RLock()
+	s := reg.streams[name]
+	reg.mu.RUnlock()
+	return s
+}
+
+// --- rule 1: blocking I/O under a held lock ---
+
+// badFetch blocks on the network while holding the shard lock.
+func (reg *Registry) badFetch(url string) {
+	reg.mu.Lock()
+	http.Get(url) // want "call to net/http.Get while holding reg.mu"
+	reg.mu.Unlock()
+}
+
+// badDeferred proves a deferred unlock keeps the lock held for every
+// following statement.
+func (reg *Registry) badDeferred() {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "call to time.Sleep while holding reg.mu"
+}
+
+// goodFetch releases the lock before the blocking call.
+func (reg *Registry) goodFetch(url string) {
+	reg.mu.Lock()
+	n := len(reg.streams)
+	reg.mu.Unlock()
+	if n > 0 {
+		http.Get(url)
+	}
+}
+
+// goodJournal calls the journaled store path under the write lock —
+// the one sanctioned exception.
+func (reg *Registry) goodJournal(name string) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	store.Append(name)
+}
+
+// --- rules 2 and 3: re-entry and lock acquisition under the shard lock ---
+
+var auditMu sync.Mutex
+
+// useRegistry re-enters the registry from a Visit callback and takes a
+// foreign lock inside another; a third callback carries the documented
+// suppression and a fourth is its unannotated twin.
+func useRegistry(reg *Registry) {
+	reg.Visit(func(s *stream) {
+		reg.Get(s.name) // want "call to Registry.Get inside a Registry.Visit callback .* would re-enter the registry lock and deadlock"
+	})
+	reg.Visit(func(s *stream) {
+		//lint:ignore lockdiscipline documented lock order shard -> auditMu; audit code never takes the shard lock
+		auditMu.Lock()
+		auditMu.Unlock()
+	})
+	reg.Visit(func(s *stream) {
+		auditMu.Lock() // want "acquiring auditMu.Lock inside a Registry.Visit callback .* adds a lock-order edge"
+		auditMu.Unlock()
+	})
+}
+
+// persister's lifecycle observers run under the shard write lock.
+type persister struct {
+	reg *Registry
+}
+
+// StreamCreated re-enters the registry — deadlock.
+func (p *persister) StreamCreated(name string) {
+	p.reg.Get(name) // want "call to Registry.Get inside lifecycle observer StreamCreated .* would re-enter the registry lock and deadlock"
+}
+
+// StreamDeleted journals only, which is fine: the exempt store call
+// is neither re-entry nor a lock acquisition.
+func (p *persister) StreamDeleted(name string) {
+	store.Append(name)
+}
+
+// --- rule 4: mutex copies ---
+
+// cloneRegistry copies the registry (and its embedded lock) in both
+// directions.
+func cloneRegistry(reg Registry) Registry { // want "parameter of cloneRegistry passes a mutex by value" "result of cloneRegistry passes a mutex by value"
+	return reg
+}
+
+// resetRegistry shares the registry through a pointer — fine.
+func resetRegistry(reg *Registry) {
+	reg.mu.Lock()
+	reg.streams = nil
+	reg.mu.Unlock()
+}

@@ -1,0 +1,7 @@
+// Package store is the journaled write-ahead fixture: calls into it
+// are the sanctioned exception to the no-I/O-under-lock rule, because
+// registry lifecycle events journal under the shard lock by design.
+package store
+
+// Append journals a record; safe under the shard lock by design.
+func Append(rec string) error { return nil }

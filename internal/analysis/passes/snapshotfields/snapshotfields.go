@@ -1,0 +1,209 @@
+// Package snapshotfields guards restore-equivalence: every field of a
+// live mechanism/tracker state struct must be captured by its
+// snapshot-envelope counterpart, or be explicitly annotated as
+// ephemeral with //lint:ignore. Without this check, adding a field to
+// Mechanism (say) and forgetting the Snapshot side compiles cleanly
+// and silently loses state across brokerd restarts — exactly the rot
+// PR 4's crash-recovery tests can't see until the field matters.
+//
+// Matching is by normalized name (lower-cased, underscores dropped,
+// a trailing "Stats" on the live side stripped so valueStats matches
+// Value), with per-pair alias maps for fields whose snapshot encoding
+// is structural rather than nominal (the ellipsoid ell → Shape+Center,
+// the config struct cfg → Threshold/Delta/UseReserve/ConservativeCuts).
+package snapshotfields
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"datamarket/internal/analysis"
+)
+
+// Pair names one live-state → snapshot struct correspondence.
+type Pair struct {
+	LivePkg  string
+	LiveType string
+	SnapPkg  string
+	SnapType string
+	// Aliases maps a live field name to the snapshot fields that
+	// jointly encode it; all of them must exist.
+	Aliases map[string][]string
+}
+
+// Config parameterizes the analyzer.
+type Config struct {
+	Pairs []Pair
+	// Anchor triggers the whole-program analyzer.
+	Anchor string
+}
+
+// DefaultConfig is the repo's real wiring.
+func DefaultConfig() Config {
+	const pricing = "datamarket/internal/pricing"
+	const stats = "datamarket/internal/stats"
+	return Config{
+		Anchor: pricing,
+		Pairs: []Pair{
+			{
+				LivePkg: pricing, LiveType: "Mechanism",
+				SnapPkg: pricing, SnapType: "Snapshot",
+				Aliases: map[string][]string{
+					"ell": {"Shape", "Center"},
+					"cfg": {"Threshold", "Delta", "UseReserve", "ConservativeCuts"},
+				},
+			},
+			{
+				LivePkg: pricing, LiveType: "SGDPoster",
+				SnapPkg: pricing, SnapType: "SGDSnapshot",
+			},
+			{
+				LivePkg: pricing, LiveType: "NonlinearMechanism",
+				SnapPkg: pricing, SnapType: "NonlinearSnapshot",
+			},
+			{
+				LivePkg: pricing, LiveType: "Tracker",
+				SnapPkg: pricing, SnapType: "TrackerState",
+			},
+			{
+				LivePkg: stats, LiveType: "Online",
+				SnapPkg: stats, SnapType: "OnlineState",
+			},
+		},
+	}
+}
+
+// NewAnalyzer builds the snapshotfields analyzer with the given config.
+func NewAnalyzer(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:   "snapshotfields",
+		Doc:    "checks that every live mechanism/tracker state field is captured by its snapshot-envelope struct (restore-equivalence can't silently rot)",
+		Anchor: cfg.Anchor,
+		Run:    func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+// Analyzer is the production instance.
+var Analyzer = NewAnalyzer(DefaultConfig())
+
+func run(pass *analysis.Pass, cfg Config) error {
+	for _, pair := range cfg.Pairs {
+		checkPair(pass, pair)
+	}
+	return nil
+}
+
+func checkPair(pass *analysis.Pass, pair Pair) {
+	livePkg := pass.Prog.Lookup(pair.LivePkg)
+	snapPkg := pass.Prog.Lookup(pair.SnapPkg)
+	if livePkg == nil || snapPkg == nil {
+		return
+	}
+	liveSpec := findStructSpec(livePkg, pair.LiveType)
+	snapStruct := findStructType(snapPkg, pair.SnapType)
+	if liveSpec == nil || snapStruct == nil {
+		return
+	}
+
+	snapNorms := make(map[string]bool)
+	for i := 0; i < snapStruct.NumFields(); i++ {
+		snapNorms[normalize(snapStruct.Field(i).Name())] = true
+	}
+
+	st := liveSpec.Type.(*ast.StructType)
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if covered(name.Name, pair, snapNorms) {
+				continue
+			}
+			if missing := missingAliases(name.Name, pair, snapNorms); missing != nil {
+				pass.Reportf(name.Pos(),
+					"field %s.%s maps to snapshot fields %s, but %s missing from %s; restore would lose state",
+					pair.LiveType, name.Name,
+					strings.Join(pair.Aliases[name.Name], "+"),
+					strings.Join(missing, ", ")+" is", pair.SnapType)
+				continue
+			}
+			pass.Reportf(name.Pos(),
+				"field %s.%s is not captured by snapshot struct %s; it would be lost across snapshot/restore (add a snapshot field, or //lint:ignore snapshotfields if ephemeral)",
+				pair.LiveType, name.Name, pair.SnapType)
+		}
+	}
+}
+
+// covered reports whether the live field is represented in the
+// snapshot, either via its alias expansion or by normalized name.
+func covered(field string, pair Pair, snapNorms map[string]bool) bool {
+	if targets, ok := pair.Aliases[field]; ok {
+		for _, t := range targets {
+			if !snapNorms[normalize(t)] {
+				return false
+			}
+		}
+		return true
+	}
+	return snapNorms[normalize(field)] || snapNorms[stripStatsSuffix(normalize(field))]
+}
+
+// missingAliases returns the alias targets absent from the snapshot,
+// or nil if the field has no alias mapping.
+func missingAliases(field string, pair Pair, snapNorms map[string]bool) []string {
+	targets, ok := pair.Aliases[field]
+	if !ok {
+		return nil
+	}
+	var missing []string
+	for _, t := range targets {
+		if !snapNorms[normalize(t)] {
+			missing = append(missing, t)
+		}
+	}
+	return missing
+}
+
+func normalize(name string) string {
+	return strings.ReplaceAll(strings.ToLower(name), "_", "")
+}
+
+func stripStatsSuffix(norm string) string {
+	if s, ok := strings.CutSuffix(norm, "stats"); ok && s != "" {
+		return s
+	}
+	if s, ok := strings.CutSuffix(norm, "state"); ok && s != "" {
+		return s
+	}
+	return norm
+}
+
+// findStructSpec locates the AST TypeSpec for a struct type by name.
+func findStructSpec(pkg *analysis.Package, name string) *ast.TypeSpec {
+	for _, f := range pkg.Syntax {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				if _, ok := ts.Type.(*ast.StructType); ok {
+					return ts
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// findStructType resolves a named struct's type-checked form.
+func findStructType(pkg *analysis.Package, name string) *types.Struct {
+	obj := pkg.Types.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	st, _ := types.Unalias(obj.Type()).Underlying().(*types.Struct)
+	return st
+}

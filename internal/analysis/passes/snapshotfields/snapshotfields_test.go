@@ -1,0 +1,12 @@
+package snapshotfields_test
+
+import (
+	"testing"
+
+	"datamarket/internal/analysis/analysistest"
+	"datamarket/internal/analysis/passes/snapshotfields"
+)
+
+func TestSnapshotfields(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotfields.Analyzer)
+}

@@ -1,0 +1,44 @@
+// Package pricing is the snapshotfields fixture: a live Mechanism
+// struct checked field-by-field against its Snapshot envelope, covering
+// normalized-name matches, the stats-suffix rule, alias expansion,
+// a partially-missing alias, uncovered fields, and the ephemeral
+// escape hatch.
+package pricing
+
+type ellipsoid struct {
+	shape  [][]float64
+	center []float64
+}
+
+type config struct {
+	threshold        float64
+	delta            float64
+	useReserve       bool
+	conservativeCuts bool
+}
+
+// Mechanism is the live state struct checked against Snapshot.
+type Mechanism struct {
+	dim int       // covered: Snapshot.Dim by normalized name
+	ell ellipsoid // covered: alias expansion to Shape+Center
+	cfg config    // want `field Mechanism.cfg maps to snapshot fields Threshold\+Delta\+UseReserve\+ConservativeCuts, but ConservativeCuts is missing from Snapshot`
+
+	valueStats float64 // covered: Snapshot.Value via the stats-suffix rule
+
+	revision int  // want "field Mechanism.revision is not captured by snapshot struct Snapshot"
+	pending  bool //lint:ignore snapshotfields refused at snapshot time, always false when an envelope is cut
+
+	lastP float64 // want "field Mechanism.lastP is not captured by snapshot struct Snapshot"
+}
+
+// Snapshot is the envelope; it deliberately omits ConservativeCuts so
+// the partially-missing-alias diagnostic fires.
+type Snapshot struct {
+	Dim        int         `json:"dim"`
+	Shape      [][]float64 `json:"shape"`
+	Center     []float64   `json:"center"`
+	Threshold  float64     `json:"threshold"`
+	Delta      float64     `json:"delta"`
+	UseReserve bool        `json:"use_reserve"`
+	Value      float64     `json:"value"`
+}

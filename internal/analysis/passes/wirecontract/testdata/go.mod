@@ -1,0 +1,7 @@
+// Fixture module for the wirecontract analyzer. It declares `module
+// datamarket` so the fixture api package occupies the import path the
+// default config anchors on, while the nested go.mod keeps it out of
+// the parent module's ./... build, test, and lint patterns.
+module datamarket
+
+go 1.24

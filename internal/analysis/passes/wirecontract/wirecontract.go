@@ -1,0 +1,319 @@
+// Package wirecontract enforces the public wire contract's hygiene
+// rules on the api package:
+//
+//   - every exported struct field carries an explicit `json` tag (the
+//     golden fixtures pin names; an untagged field silently ships its
+//     Go spelling and breaks the snake_case convention),
+//   - unexported fields are flagged (encoding/json drops them
+//     silently — a wire struct must not carry invisible state),
+//   - no field smuggles schema-free data through interface{} /
+//     map[string]interface{},
+//   - every exported wire type is pinned by a golden fixture under
+//     testdata/<APIVersion>/ — either its own snake_case file or
+//     containment in a fixtured type.
+package wirecontract
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+	"strings"
+	"unicode"
+
+	"datamarket/internal/analysis"
+)
+
+// Config parameterizes the analyzer.
+type Config struct {
+	// APIPkg is the wire-contract package (and the anchor).
+	APIPkg string
+	// VersionConst names the string constant selecting the fixture
+	// directory under testdata/.
+	VersionConst string
+}
+
+// DefaultConfig is the repo's real wiring.
+func DefaultConfig() Config {
+	return Config{APIPkg: "datamarket/api", VersionConst: "APIVersion"}
+}
+
+// NewAnalyzer builds the wirecontract analyzer with the given config.
+func NewAnalyzer(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:   "wirecontract",
+		Doc:    "checks api wire structs for complete json tags, no untyped interface fields, and golden-fixture coverage under testdata/<APIVersion>/",
+		Anchor: cfg.APIPkg,
+		Run:    func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+// Analyzer is the production instance.
+var Analyzer = NewAnalyzer(DefaultConfig())
+
+func run(pass *analysis.Pass, cfg Config) error {
+	pkg := pass.Prog.Lookup(cfg.APIPkg)
+	if pkg == nil {
+		return nil
+	}
+	checkStructDecls(pass, pkg)
+	checkFixtureCoverage(pass, cfg, pkg)
+	return nil
+}
+
+// --- json tags and field types ---
+
+func checkStructDecls(pass *analysis.Pass, pkg *analysis.Package) {
+	for _, f := range pkg.Syntax {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() || ts.Assign.IsValid() {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkStructFields(pass, pkg, ts.Name.Name, st)
+			}
+		}
+	}
+}
+
+func checkStructFields(pass *analysis.Pass, pkg *analysis.Package, typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if tv, ok := pkg.TypesInfo.Types[field.Type]; ok {
+			if bad := untypedComponent(tv.Type); bad != "" {
+				pass.Reportf(field.Type.Pos(),
+					"wire struct %s carries an untyped %s field; give the payload a concrete wire type", typeName, bad)
+			}
+		}
+		if len(field.Names) == 0 {
+			// Embedded field: flattened by encoding/json, its own
+			// declaration carries the tags.
+			continue
+		}
+		for _, name := range field.Names {
+			if !name.IsExported() {
+				pass.Reportf(name.Pos(),
+					"wire struct %s has unexported field %s, which encoding/json drops silently; export it with a json tag or move it off the wire type", typeName, name.Name)
+				continue
+			}
+			if !hasJSONTag(field) {
+				pass.Reportf(name.Pos(),
+					"wire struct %s field %s has no json tag; the wire name must be pinned explicitly (snake_case)", typeName, name.Name)
+			}
+		}
+	}
+}
+
+func hasJSONTag(field *ast.Field) bool {
+	if field.Tag == nil {
+		return false
+	}
+	// Tag literal includes the quotes.
+	tag := strings.Trim(field.Tag.Value, "`")
+	val, ok := lookupTag(tag, "json")
+	if !ok {
+		return false
+	}
+	name, _, _ := strings.Cut(val, ",")
+	return name != ""
+}
+
+// lookupTag is reflect.StructTag.Lookup without importing reflect's
+// value machinery into the analyzer.
+func lookupTag(tag, key string) (string, bool) {
+	for tag != "" {
+		tag = strings.TrimLeft(tag, " ")
+		i := strings.Index(tag, ":")
+		if i < 0 {
+			break
+		}
+		name := tag[:i]
+		rest := tag[i+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			break
+		}
+		j := strings.Index(rest[1:], `"`)
+		if j < 0 {
+			break
+		}
+		value := rest[1 : 1+j]
+		tag = rest[j+2:]
+		if name == key {
+			return value, true
+		}
+	}
+	return "", false
+}
+
+// untypedComponent names the schema-free component of t, if any.
+func untypedComponent(t types.Type) string {
+	return findUntyped(t, make(map[types.Type]bool))
+}
+
+func findUntyped(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Interface:
+		if u.NumMethods() == 0 {
+			return "interface{}"
+		}
+	case *types.Map:
+		if s := findUntyped(u.Elem(), seen); s != "" {
+			return "map[...]" + s
+		}
+	case *types.Slice:
+		if s := findUntyped(u.Elem(), seen); s != "" {
+			return "[]" + s
+		}
+	case *types.Pointer:
+		return findUntyped(u.Elem(), seen)
+	}
+	return ""
+}
+
+// --- fixture coverage ---
+
+func checkFixtureCoverage(pass *analysis.Pass, cfg Config, pkg *analysis.Package) {
+	scope := pkg.Types.Scope()
+	verObj, ok := scope.Lookup(cfg.VersionConst).(*types.Const)
+	if !ok || verObj.Val().Kind() != constant.String {
+		pass.Reportf(pkg.Types.Scope().Pos(),
+			"wire package has no %s string constant; fixture coverage cannot be checked", cfg.VersionConst)
+		return
+	}
+	version := constant.StringVal(verObj.Val())
+	fixtureDir := pkg.Dir + "/testdata/" + version
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		pass.Reportf(verObj.Pos(),
+			"golden fixture directory %s is missing: %v", "testdata/"+version, err)
+		return
+	}
+	fixtures := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), ".json"); ok {
+			fixtures = append(fixtures, name)
+		}
+	}
+
+	// Wire types needing coverage: every exported type name whose type
+	// (through aliases) is a struct.
+	type wireType struct {
+		obj types.Object
+		st  *types.Struct
+	}
+	var needed []wireType
+	byType := make(map[*types.Struct]types.Object)
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		tn, ok := obj.(*types.TypeName)
+		if !ok || !tn.Exported() {
+			continue
+		}
+		if st, ok := types.Unalias(tn.Type()).Underlying().(*types.Struct); ok {
+			needed = append(needed, wireType{obj: obj, st: st})
+			byType[st] = obj
+		}
+	}
+
+	covered := make(map[types.Object]bool)
+	for _, wt := range needed {
+		snake := snakeCase(wt.obj.Name())
+		for _, f := range fixtures {
+			if f == snake || strings.HasPrefix(f, snake+"_") {
+				covered[wt.obj] = true
+				break
+			}
+		}
+	}
+	// Containment closure: a fixtured struct pins every wire type
+	// reachable through its fields.
+	for changed := true; changed; {
+		changed = false
+		for _, wt := range needed {
+			if !covered[wt.obj] {
+				continue
+			}
+			for i := 0; i < wt.st.NumFields(); i++ {
+				for _, ref := range structComponents(wt.st.Field(i).Type()) {
+					if obj, ok := byType[ref]; ok && !covered[obj] {
+						covered[obj] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, wt := range needed {
+		if covered[wt.obj] {
+			continue
+		}
+		pass.Reportf(wt.obj.Pos(),
+			"wire type %s has no golden fixture under testdata/%s/ (expected %s.json or containment in a fixtured type); add one and run the wire tests with -update",
+			wt.obj.Name(), version, snakeCase(wt.obj.Name()))
+	}
+}
+
+// structComponents collects the struct types reachable from t through
+// pointers, slices, arrays, and maps (one level of naming at a time —
+// nested structs appear in the closure via their own wire types).
+func structComponents(t types.Type) []*types.Struct {
+	var out []*types.Struct
+	collectStructs(t, make(map[types.Type]bool), &out)
+	return out
+}
+
+func collectStructs(t types.Type, seen map[types.Type]bool, out *[]*types.Struct) {
+	if seen[t] {
+		return
+	}
+	seen[t] = true
+	switch u := types.Unalias(t).Underlying().(type) {
+	case *types.Struct:
+		*out = append(*out, u)
+		for i := 0; i < u.NumFields(); i++ {
+			collectStructs(u.Field(i).Type(), seen, out)
+		}
+	case *types.Pointer:
+		collectStructs(u.Elem(), seen, out)
+	case *types.Slice:
+		collectStructs(u.Elem(), seen, out)
+	case *types.Array:
+		collectStructs(u.Elem(), seen, out)
+	case *types.Map:
+		collectStructs(u.Elem(), seen, out)
+	}
+}
+
+// snakeCase converts CamelCase (with acronym runs) to snake_case:
+// CreateStreamRequest → create_stream_request, SGDSnapshot →
+// sgd_snapshot, StreamID → stream_id.
+func snakeCase(s string) string {
+	runes := []rune(s)
+	var b strings.Builder
+	for i, r := range runes {
+		if unicode.IsUpper(r) {
+			prevLower := i > 0 && !unicode.IsUpper(runes[i-1])
+			nextLower := i+1 < len(runes) && !unicode.IsUpper(runes[i+1])
+			if i > 0 && (prevLower || nextLower) {
+				b.WriteByte('_')
+			}
+			b.WriteRune(unicode.ToLower(r))
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,12 @@
+package wirecontract_test
+
+import (
+	"testing"
+
+	"datamarket/internal/analysis/analysistest"
+	"datamarket/internal/analysis/passes/wirecontract"
+)
+
+func TestWirecontract(t *testing.T) {
+	analysistest.Run(t, "testdata", wirecontract.Analyzer)
+}

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Run executes the analyzers over the program and returns the surviving
+// diagnostics, sorted by position. Per-package analyzers run once per
+// target package; anchored analyzers run once, iff their anchor package
+// is among the targets. Diagnostics in non-target packages and
+// diagnostics suppressed by //lint:ignore directives are dropped.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Anchor != "" {
+			anchor := prog.Lookup(a.Anchor)
+			if anchor == nil || !anchor.Target {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: anchor, Prog: prog, diagnostics: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %v", a.Name, err)
+			}
+			continue
+		}
+		for _, pkg := range prog.Targets {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, diagnostics: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s (%s): %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+
+	sup := collectSuppressions(prog)
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		if !inTarget(prog, pos.Filename) {
+			continue
+		}
+		if sup.suppressed(d.Analyzer, pos) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	kept = append(kept, sup.malformed...)
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := prog.Fset.Position(kept[i].Pos), prog.Fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return kept[i].Message < kept[j].Message
+	})
+	return dedup(prog, kept), nil
+}
+
+func inTarget(prog *Program, filename string) bool {
+	for _, t := range prog.Targets {
+		if t.Dir != "" && strings.HasPrefix(filename, t.Dir+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func dedup(prog *Program, diags []Diagnostic) []Diagnostic {
+	seen := make(map[string]bool, len(diags))
+	out := diags[:0]
+	for _, d := range diags {
+		key := fmt.Sprintf("%s|%s|%s", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// suppressions indexes //lint:ignore directives by file and line.
+type suppressions struct {
+	// byFileLine: filename → line of the directive → directive.
+	byFileLine map[string]map[int]*ignoreDirective
+	// commentLines: filename → set of lines that are covered by any
+	// comment, used to let a directive sit above a doc comment.
+	commentLines map[string]map[int]bool
+	// codeLines: filename → lines where a non-comment token starts.
+	// The upward directive search stops at code lines, so a trailing
+	// directive on one statement can never leak onto the next.
+	codeLines map[string]map[int]bool
+	malformed []Diagnostic
+}
+
+type ignoreDirective struct {
+	analyzers map[string]bool // nil means all ("*")
+}
+
+// collectSuppressions scans target-package comments for
+// //lint:ignore <analyzer>[,<analyzer>...] <reason> directives.
+func collectSuppressions(prog *Program) *suppressions {
+	s := &suppressions{
+		byFileLine:   make(map[string]map[int]*ignoreDirective),
+		commentLines: make(map[string]map[int]bool),
+		codeLines:    make(map[string]map[int]bool),
+	}
+	for _, pkg := range prog.Targets {
+		for _, f := range pkg.Syntax {
+			filename := prog.Fset.Position(f.Pos()).Filename
+			code := s.codeLines[filename]
+			if code == nil {
+				code = make(map[int]bool)
+				s.codeLines[filename] = code
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n.(type) {
+				case nil:
+					return false
+				case *ast.Comment, *ast.CommentGroup:
+					return false
+				}
+				code[prog.Fset.Position(n.Pos()).Line] = true
+				return true
+			})
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := prog.Fset.Position(c.Pos())
+					end := prog.Fset.Position(c.End())
+					cl := s.commentLines[pos.Filename]
+					if cl == nil {
+						cl = make(map[int]bool)
+						s.commentLines[pos.Filename] = cl
+					}
+					for l := pos.Line; l <= end.Line; l++ {
+						cl[l] = true
+					}
+					text := c.Text
+					if !strings.HasPrefix(text, "//lint:ignore") {
+						continue
+					}
+					rest := strings.TrimPrefix(text, "//lint:ignore")
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						s.malformed = append(s.malformed, Diagnostic{
+							Pos:      c.Pos(),
+							Analyzer: "lintdirective",
+							Message:  "malformed //lint:ignore directive: want //lint:ignore <analyzer> <reason>",
+						})
+						continue
+					}
+					dir := &ignoreDirective{}
+					if fields[0] != "*" {
+						dir.analyzers = make(map[string]bool)
+						for _, name := range strings.Split(fields[0], ",") {
+							dir.analyzers[name] = true
+						}
+					}
+					lines := s.byFileLine[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]*ignoreDirective)
+						s.byFileLine[pos.Filename] = lines
+					}
+					lines[pos.Line] = dir
+				}
+			}
+		}
+	}
+	return s
+}
+
+// suppressed reports whether a diagnostic from the named analyzer at
+// pos is covered by a directive: on the same line, or on a comment-only
+// line directly above (walking up through contiguous comment-only
+// lines, so the directive may sit atop or inside a doc comment — but
+// never across a line that carries code, so a trailing directive on
+// one statement cannot leak onto the next).
+func (s *suppressions) suppressed(analyzer string, pos token.Position) bool {
+	lines := s.byFileLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	if d := lines[pos.Line]; d != nil && d.matches(analyzer) {
+		return true
+	}
+	comments := s.commentLines[pos.Filename]
+	code := s.codeLines[pos.Filename]
+	for l := pos.Line - 1; l > 0 && comments[l] && !code[l]; l-- {
+		if d := lines[l]; d != nil && d.matches(analyzer) {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *ignoreDirective) matches(analyzer string) bool {
+	return d.analyzers == nil || d.analyzers[analyzer]
+}
+
+// NodeLine returns the line of n's position — a convenience for
+// analyzers that reason about source layout.
+func NodeLine(prog *Program, n ast.Node) int {
+	return prog.Fset.Position(n.Pos()).Line
+}

@@ -47,8 +47,11 @@ func NewBall(n int, radius float64) (*E, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("ellipsoid: dimension must be positive, got %d", n)
 	}
-	if radius <= 0 {
-		return nil, fmt.Errorf("ellipsoid: radius must be positive, got %g", radius)
+	// radius <= 0 alone admits NaN (ordered comparisons with NaN are
+	// false), and ±Inf passes it outright; either would silently
+	// poison A₁ = R²·I and every cut after it.
+	if math.IsNaN(radius) || math.IsInf(radius, 0) || radius <= 0 {
+		return nil, fmt.Errorf("ellipsoid: radius must be finite and positive, got %g", radius)
 	}
 	return &E{
 		n: n,
@@ -64,6 +67,12 @@ func New(shape *linalg.Matrix, center linalg.Vector) (*E, error) {
 	if shape.Rows() != n || shape.Cols() != n {
 		return nil, fmt.Errorf("ellipsoid: shape %dx%d does not match center length %d",
 			shape.Rows(), shape.Cols(), n)
+	}
+	// The symmetry/PD checks incidentally reject non-finite shape
+	// entries, but nothing downstream ever inspects the center — a
+	// NaN c would survive restore and corrupt the first price.
+	if !center.IsFinite() {
+		return nil, fmt.Errorf("ellipsoid: center must be finite")
 	}
 	if !shape.IsSymmetric(1e-8 * math.Max(1, shape.MaxAbs())) {
 		return nil, fmt.Errorf("ellipsoid: shape matrix is not symmetric")

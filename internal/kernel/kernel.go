@@ -38,8 +38,10 @@ func NewPolynomial(degree int, offset float64) (Polynomial, error) {
 	if degree < 1 {
 		return Polynomial{}, fmt.Errorf("kernel: polynomial degree must be ≥ 1, got %d", degree)
 	}
-	if offset < 0 {
-		return Polynomial{}, fmt.Errorf("kernel: polynomial offset must be ≥ 0, got %g", offset)
+	// offset < 0 alone admits NaN (ordered comparisons with NaN are
+	// false), and a NaN offset makes every kernel evaluation NaN.
+	if math.IsNaN(offset) || math.IsInf(offset, 0) || offset < 0 {
+		return Polynomial{}, fmt.Errorf("kernel: polynomial offset must be finite and ≥ 0, got %g", offset)
 	}
 	return Polynomial{Degree: degree, Offset: offset}, nil
 }
@@ -61,8 +63,8 @@ type RBF struct {
 
 // NewRBF validates and builds an RBF kernel.
 func NewRBF(gamma float64) (RBF, error) {
-	if gamma <= 0 {
-		return RBF{}, fmt.Errorf("kernel: RBF gamma must be positive, got %g", gamma)
+	if math.IsNaN(gamma) || math.IsInf(gamma, 0) || gamma <= 0 {
+		return RBF{}, fmt.Errorf("kernel: RBF gamma must be finite and positive, got %g", gamma)
 	}
 	return RBF{Gamma: gamma}, nil
 }

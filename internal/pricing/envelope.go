@@ -224,9 +224,9 @@ func (s *SGDPoster) SnapshotEnvelope() (*Envelope, error) {
 			N:          len(s.theta),
 			Theta:      s.theta.Clone(),
 			Eta0:       s.eta0,
-			Margin:     s.expl,
+			Margin:     s.margin,
 			UseReserve: s.useReserve,
-			Steps:      s.t,
+			Steps:      s.steps,
 			Counters:   s.counters,
 		},
 	}, nil
@@ -256,7 +256,7 @@ func restoreSGDFamily(env *Envelope) (FamilyPoster, error) {
 		return nil, err
 	}
 	copy(poster.theta, snap.Theta)
-	poster.t = snap.Steps
+	poster.steps = snap.Steps
 	poster.counters = snap.Counters
 	return poster, nil
 }

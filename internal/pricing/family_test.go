@@ -304,8 +304,8 @@ func TestRestoreSGDEnvelopeValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	sgd := fp.(*SGDPoster)
-	if sgd.t != 3 {
-		t.Fatalf("restored step count %d, want 3", sgd.t)
+	if sgd.steps != 3 {
+		t.Fatalf("restored step count %d, want 3", sgd.steps)
 	}
 }
 

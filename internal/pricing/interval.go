@@ -32,6 +32,11 @@ type IntervalMechanism struct {
 // NewInterval builds a one-dimensional mechanism with initial knowledge
 // θ* ∈ [lo, hi].
 func NewInterval(lo, hi float64, opts ...Option) (*IntervalMechanism, error) {
+	// !(lo < hi) already rejects NaN, but ±Inf bounds pass it and make
+	// the bisecting price (lo+hi)/2 NaN on the first round.
+	if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) {
+		return nil, fmt.Errorf("pricing: interval bounds must be finite, got [%g, %g]", lo, hi)
+	}
 	if !(lo < hi) {
 		return nil, fmt.Errorf("pricing: interval [%g, %g] is empty", lo, hi)
 	}

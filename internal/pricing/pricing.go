@@ -156,10 +156,10 @@ type Mechanism struct {
 	ell *ellipsoid.E
 	cfg config
 
-	pending  bool
-	lastX    linalg.Vector
-	lastP    float64
-	lastExpl bool
+	pending  bool          //lint:ignore snapshotfields Snapshot refuses pending rounds, so pending is always false at snapshot time
+	lastX    linalg.Vector //lint:ignore snapshotfields per-round scratch; rebuilt by the next PostPrice
+	lastP    float64       //lint:ignore snapshotfields per-round scratch; rebuilt by the next PostPrice
+	lastExpl bool          //lint:ignore snapshotfields per-round scratch; rebuilt by the next PostPrice
 
 	counters Counters
 }
@@ -206,6 +206,12 @@ func NewFromBox(lo, hi linalg.Vector, opts ...Option) (*Mechanism, error) {
 	}
 	var sum float64
 	for i := range lo {
+		// Check finiteness per bound: a NaN entry passes lo > hi (all
+		// ordered comparisons with NaN are false) and would turn the
+		// enclosing radius — and the whole knowledge set — into NaN.
+		if math.IsNaN(lo[i]) || math.IsInf(lo[i], 0) || math.IsNaN(hi[i]) || math.IsInf(hi[i], 0) {
+			return nil, fmt.Errorf("pricing: box bound %d not finite [%g, %g]", i, lo[i], hi[i])
+		}
 		if lo[i] > hi[i] {
 			return nil, fmt.Errorf("pricing: inverted box bound at %d", i)
 		}

@@ -43,6 +43,7 @@ type RoundRecord struct {
 // figures are built from: cumulative regret (Fig. 4), cumulative market
 // value for regret ratios (Fig. 5), revenue, and Table I-style summaries.
 type Tracker struct {
+	//lint:ignore snapshotfields the raw per-round series is deliberately not snapshotted (unbounded; TrackerState keeps aggregates only, see RestoreTracker)
 	records []RoundRecord
 
 	cumRegret  float64
@@ -54,7 +55,7 @@ type Tracker struct {
 	postedStats  *stats.Online
 	reserveStats *stats.Online
 
-	keepRecords bool
+	keepRecords bool //lint:ignore snapshotfields restore policy, not state: RestoreTracker always resumes in aggregate-only mode
 }
 
 // NewTracker returns a tracker. If keepRecords is true every RoundRecord

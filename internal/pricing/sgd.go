@@ -18,14 +18,14 @@ import (
 type SGDPoster struct {
 	theta      linalg.Vector
 	eta0       float64 // initial step size
-	expl       float64 // exploration margin scale
+	margin     float64 // exploration margin scale
 	useReserve bool
 
-	t       int
-	pending bool
-	lastX   linalg.Vector
-	lastP   float64
-	lastEst float64
+	steps   int
+	pending bool          //lint:ignore snapshotfields SGDSnapshot refuses pending rounds, so pending is always false at snapshot time
+	lastX   linalg.Vector //lint:ignore snapshotfields per-round scratch; rebuilt by the next PostPrice
+	lastP   float64       //lint:ignore snapshotfields per-round scratch; rebuilt by the next PostPrice
+	lastEst float64       //lint:ignore snapshotfields per-round scratch; rebuilt by the next PostPrice
 
 	counters Counters
 }
@@ -37,13 +37,19 @@ func NewSGD(n int, eta0, margin float64, useReserve bool) (*SGDPoster, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("pricing: SGD dimension must be positive, got %d", n)
 	}
+	// Finiteness first: eta0 <= 0 and margin < 0 are both false for
+	// NaN, and a NaN step size or margin corrupts θ̂ on the first
+	// Observe.
+	if math.IsNaN(eta0) || math.IsInf(eta0, 0) || math.IsNaN(margin) || math.IsInf(margin, 0) {
+		return nil, fmt.Errorf("pricing: SGD needs finite eta0 and margin, got %g, %g", eta0, margin)
+	}
 	if eta0 <= 0 || margin < 0 {
 		return nil, fmt.Errorf("pricing: SGD needs positive eta0 and non-negative margin, got %g, %g", eta0, margin)
 	}
 	return &SGDPoster{
 		theta:      make(linalg.Vector, n),
 		eta0:       eta0,
-		expl:       margin,
+		margin:     margin,
 		useReserve: useReserve,
 	}, nil
 }
@@ -78,10 +84,10 @@ func (s *SGDPoster) PostPrice(x linalg.Vector, reserve float64) (Quote, error) {
 	if s.pending {
 		return Quote{}, ErrPendingRound
 	}
-	s.t++
+	s.steps++
 	s.counters.Rounds++
 	est := x.Dot(s.theta)
-	price := est - s.expl/math.Cbrt(float64(s.t))
+	price := est - s.margin/math.Cbrt(float64(s.steps))
 	q := Quote{Lower: price, Upper: est, Decision: DecisionExploratory}
 	if s.useReserve && reserve > price {
 		price = reserve
@@ -109,7 +115,7 @@ func (s *SGDPoster) Observe(accepted bool) error {
 	} else {
 		s.counters.Rejects++
 	}
-	eta := s.eta0 / math.Sqrt(float64(s.t))
+	eta := s.eta0 / math.Sqrt(float64(s.steps))
 	// Surrogate gradient: sign of the pricing error along x.
 	dir := 1.0
 	if !accepted {

@@ -111,6 +111,12 @@ type TanhContract struct {
 
 // NewTanhContract validates and builds a tanh contract.
 func NewTanhContract(rho, eta float64) (TanhContract, error) {
+	// A bare rho <= 0 guard admits NaN (every ordered comparison with
+	// NaN is false), and a NaN contract poisons every compensation —
+	// and through the reserve price, every trade — downstream.
+	if math.IsNaN(rho) || math.IsInf(rho, 0) || math.IsNaN(eta) || math.IsInf(eta, 0) {
+		return TanhContract{}, fmt.Errorf("privacy: tanh contract needs finite rho and eta, got %g, %g", rho, eta)
+	}
 	if rho <= 0 || eta <= 0 {
 		return TanhContract{}, fmt.Errorf("privacy: tanh contract needs positive rho and eta, got %g, %g", rho, eta)
 	}
@@ -139,6 +145,9 @@ type LinearContract struct {
 
 // NewLinearContract validates and builds a linear contract.
 func NewLinearContract(rho float64) (LinearContract, error) {
+	if math.IsNaN(rho) || math.IsInf(rho, 0) {
+		return LinearContract{}, fmt.Errorf("privacy: linear contract needs finite rho, got %g", rho)
+	}
 	if rho <= 0 {
 		return LinearContract{}, fmt.Errorf("privacy: linear contract needs positive rho, got %g", rho)
 	}

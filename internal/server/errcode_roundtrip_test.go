@@ -1,0 +1,188 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"datamarket/api"
+	"datamarket/internal/pricing"
+	"datamarket/internal/store"
+)
+
+// declaredErrorCodes parses the api package source and returns the
+// string value of every ErrorCode constant. Discovering the set from
+// source (rather than hardcoding it here) is the point: adding a code
+// to api/errors.go without teaching the server to produce it fails
+// this test, not a code review.
+func declaredErrorCodes(t *testing.T) []api.ErrorCode {
+	t.Helper()
+	dir := filepath.Join("..", "..", "api")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading api package dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var codes []api.ErrorCode
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", e.Name(), err)
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			// Track the type across specs so implicit-type
+			// continuation lines in a const block still count.
+			carried := false
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if vs.Type != nil {
+					id, ok := vs.Type.(*ast.Ident)
+					carried = ok && id.Name == "ErrorCode"
+				}
+				if !carried || len(vs.Values) != len(vs.Names) {
+					continue
+				}
+				for _, v := range vs.Values {
+					lit, ok := v.(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					s, err := strconv.Unquote(lit.Value)
+					if err != nil {
+						t.Fatalf("unquoting %s: %v", lit.Value, err)
+					}
+					codes = append(codes, api.ErrorCode(s))
+				}
+			}
+		}
+	}
+	return codes
+}
+
+// TestErrorCodeRoundTrip is the inverse of TestErrorEnvelopeCodes:
+// instead of driving requests and checking the codes that come out, it
+// enumerates every code the api package declares and demands a
+// producing path on the server side — a sentinel routed through
+// errorStatus, a status routed through writeStatusError, or a mux
+// fallback rewritten by envelopeWriter. A code with no producer is
+// dead wire surface: clients are told to branch on a value the server
+// can never send.
+func TestErrorCodeRoundTrip(t *testing.T) {
+	// Sentinel-backed codes: errorStatus must map each sentinel — bare
+	// and wrapped — to its code.
+	sentinels := map[api.ErrorCode]error{
+		api.CodePersistence:    ErrPersist,
+		api.CodeStreamNotFound: ErrStreamNotFound,
+		api.CodeMarketNotFound: ErrMarketNotFound,
+		api.CodeStreamExists:   ErrStreamExists,
+		api.CodeMarketExists:   ErrMarketExists,
+		api.CodeStreamPending:  ErrStreamPending,
+		api.CodeUnavailable:    store.ErrClosed,
+		api.CodeFamilyMismatch: pricing.ErrFamilyMismatch,
+		api.CodeRoundPending:   pricing.ErrPendingRound,
+		api.CodeNoRoundPending: pricing.ErrNoPendingRound,
+		api.CodeInvalidRequest: errors.New("any unrecognized validation error"),
+	}
+	for code, err := range sentinels {
+		if _, got := errorStatus(err); got != code {
+			t.Errorf("errorStatus(%v) = %q, want %q", err, got, code)
+		}
+		wrapped := fmt.Errorf("create stream: %w", err)
+		if _, got := errorStatus(wrapped); got != code {
+			t.Errorf("errorStatus(wrapped %v) = %q, want %q", err, got, code)
+		}
+	}
+
+	// Status-backed codes: writeStatusError's status → code table.
+	statusBacked := map[api.ErrorCode]int{
+		api.CodeBodyTooLarge: http.StatusRequestEntityTooLarge,
+		api.CodeInternal:     http.StatusInternalServerError,
+	}
+	for code, status := range statusBacked {
+		rec := httptest.NewRecorder()
+		writeStatusError(rec, status, "boom")
+		var resp api.ErrorResponse
+		if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+			t.Fatalf("decoding writeStatusError(%d) body: %v", status, err)
+		}
+		if resp.Error.Code != code {
+			t.Errorf("writeStatusError(%d) code = %q, want %q", status, resp.Error.Code, code)
+		}
+	}
+
+	// Route-backed codes: the envelopeWriter middleware rewrites the
+	// mux's plain-text 404/405 into the envelope.
+	routeBacked := map[api.ErrorCode]int{
+		api.CodeNotFound:         http.StatusNotFound,
+		api.CodeMethodNotAllowed: http.StatusMethodNotAllowed,
+	}
+	for code, status := range routeBacked {
+		rec := httptest.NewRecorder()
+		ew := &envelopeWriter{ResponseWriter: rec}
+		ew.WriteHeader(status)
+		var resp api.ErrorResponse
+		if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+			t.Fatalf("decoding envelopeWriter(%d) body: %v", status, err)
+		}
+		if resp.Error.Code != code {
+			t.Errorf("envelopeWriter(%d) code = %q, want %q", status, resp.Error.Code, code)
+		}
+	}
+
+	// Completeness: every declared code has exactly one of the three
+	// producer kinds above.
+	declared := declaredErrorCodes(t)
+	if len(declared) < 10 {
+		t.Fatalf("discovered only %d ErrorCode constants in the api package — the source scan is broken", len(declared))
+	}
+	seen := make(map[api.ErrorCode]bool, len(declared))
+	for _, code := range declared {
+		if seen[code] {
+			t.Errorf("api declares ErrorCode %q twice", code)
+		}
+		seen[code] = true
+		_, isSentinel := sentinels[code]
+		_, isStatus := statusBacked[code]
+		_, isRoute := routeBacked[code]
+		if !isSentinel && !isStatus && !isRoute {
+			t.Errorf("api.ErrorCode %q has no producing path in the server (no sentinel in errorStatus, no writeStatusError status, no mux rewrite) — dead wire surface", code)
+		}
+	}
+	// And the reverse: this test's tables must not invent codes the
+	// api package no longer declares.
+	for code := range sentinels {
+		if !seen[code] {
+			t.Errorf("test maps sentinel to undeclared code %q", code)
+		}
+	}
+	for code := range statusBacked {
+		if !seen[code] {
+			t.Errorf("test maps status to undeclared code %q", code)
+		}
+	}
+	for code := range routeBacked {
+		if !seen[code] {
+			t.Errorf("test maps route to undeclared code %q", code)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"datamarket/api"
 	"datamarket/internal/linalg"
 	"datamarket/internal/pricing"
+	"datamarket/internal/store"
 )
 
 // maxBodyBytes bounds request bodies. Snapshots of high-dimensional
@@ -390,6 +391,12 @@ func errorStatus(err error) (int, api.ErrorCode) {
 		return http.StatusConflict, api.CodeMarketExists
 	case errors.Is(err, ErrStreamPending):
 		return http.StatusConflict, api.CodeStreamPending
+	case errors.Is(err, store.ErrClosed):
+		// The journal has been shut down (draining stop or a failed
+		// recovery); the stream state is fine but writes can't be
+		// made durable. 503 tells clients the condition is
+		// retryable once the server is back.
+		return http.StatusServiceUnavailable, api.CodeUnavailable
 	case errors.Is(err, pricing.ErrFamilyMismatch):
 		return http.StatusConflict, api.CodeFamilyMismatch
 	case errors.Is(err, pricing.ErrPendingRound):
