@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fmt bench-smoke ci
+.PHONY: build test race lint fmt bench-smoke bench-durability ci
 
 build:
 	$(GO) build ./...
@@ -31,5 +31,12 @@ fmt:
 # they cannot rot; perf numbers come from manual -benchtime runs.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# bench-durability regenerates BENCH_durability.json, the tracked perf
+# artifact of the durability stack: sustained durable pricing throughput
+# per fsync policy (the acceptance bar is -fsync always within ~2× of
+# -fsync never) and crash-recovery time vs dirty-stream count.
+bench-durability:
+	$(GO) run ./cmd/durabilitybench -out BENCH_durability.json
 
 ci: fmt build test lint

@@ -134,8 +134,12 @@ func samples(t *testing.T) map[string]any {
 			LastCheckpoint: &CheckpointStats{Streams: 4, Persisted: 4, DurationMS: 0.5},
 			Store: &StoreStats{
 				Backend: "journal", Dir: "/var/lib/brokerd", Entries: 4, LastLSN: 42,
-				JournalBytes: 1024, JournalRecords: 8, CheckpointBytes: 2048,
-				Appends: 8, Compactions: 1, SyncErrors: 1, RecoveredEntries: 4,
+				JournalBytes: 1024, JournalRecords: 8, Segments: 3, CheckpointBytes: 2048,
+				Appends: 8, Compactions: 1, Commits: 3, CommitRecords: 8, CommitWaitMS: 1.5,
+				// SyncErrors deliberately zero: the fixture pins that a
+				// healthy disk reports "sync_errors": 0 explicitly rather
+				// than omitting the key.
+				SyncErrors: 0, RecoveredEntries: 4, Fsync: "always",
 			},
 		},
 		"create_market_request": CreateMarketRequest{

@@ -1,19 +1,32 @@
 // Package lockdiscipline enforces the registry's locking rules:
 //
 //  1. No blocking I/O while holding a mutex: calls into net/http, net,
-//     os, or time.Sleep under a held Lock/RLock stall every reader of
-//     that shard. The journaled write-ahead path (calls into the store
-//     package) is the one sanctioned exception — registry lifecycle
-//     events journal under the shard write lock by design.
+//     os, the store package, or time.Sleep under a held Lock/RLock
+//     stall every reader of that shard. The sanctioned exception is the
+//     store's commit path — Store.Put, Store.PutAsync, Store.Delete,
+//     and Ticket.Wait: lifecycle events journal write-ahead under the
+//     shard write lock by design, and a checkpoint pass enqueues each
+//     dirty stream's delta under that stream's shard lock (PutAsync
+//     does no file I/O; the group commit runs on the store's committer
+//     goroutine after the lock is gone). Everything else in the store —
+//     Load, Compact, Close, constructors — rewrites or scans files and
+//     must never run under a shard lock.
 //  2. Visit callbacks run under the shard read lock: calling back into
-//     the registry self-deadlocks, and acquiring any other mutex inside
+//     the registry self-deadlocks, acquiring any other mutex inside
 //     the callback creates a lock-order edge that must be justified
 //     (the persister's documented shard → revMu order carries a
-//     //lint:ignore for exactly this reason).
-//  3. The same re-entry rule applies to LifecycleObserver methods,
-//     which run under the shard write lock.
+//     //lint:ignore for exactly this reason), and blocking calls obey
+//     the same rule-1 exemption list.
+//  3. The same rules apply to LifecycleObserver methods, which run
+//     under the shard write lock.
 //  4. Mutexes must not be copied: parameters, receivers, and results
 //     that carry a sync.Mutex/RWMutex by value are flagged.
+//
+// Unlike the other passes, this one resolves interface-method callees:
+// the serving layer talks to the store through the Store interface, so
+// exemptions and blocking verdicts must attach to
+// "(datamarket/internal/store.Store).Put" and friends, not only to
+// concrete methods.
 package lockdiscipline
 
 import (
@@ -34,9 +47,11 @@ type Config struct {
 	BlockingPkgs []string
 	// BlockingFuncs are fully-qualified extra blocking functions.
 	BlockingFuncs []string
-	// ExemptCalleePkgs may be called while holding a lock (the
-	// journaled write-ahead path).
-	ExemptCalleePkgs []string
+	// ExemptCallees are fully-qualified functions (types.Func full
+	// names, interface methods included) that may be called while
+	// holding a lock even though their package is blocking: the store's
+	// enqueue-then-wait commit path.
+	ExemptCallees []string
 	// RegistryType names the sharded registry type (in Pkgs) whose
 	// Visit callbacks and observers are lock-sensitive.
 	RegistryType string
@@ -52,14 +67,19 @@ type Config struct {
 // DefaultConfig is the repo's real wiring.
 func DefaultConfig() Config {
 	return Config{
-		Pkgs:             []string{"datamarket/internal/server"},
-		BlockingPkgs:     []string{"net/http", "net", "os"},
-		BlockingFuncs:    []string{"time.Sleep"},
-		ExemptCalleePkgs: []string{"datamarket/internal/store"},
-		RegistryType:     "Registry",
-		VisitMethod:      "Visit",
-		ObserverMethods:  []string{"StreamCreated", "StreamRestored", "StreamDeleted"},
-		Anchor:           "datamarket/internal/server",
+		Pkgs:          []string{"datamarket/internal/server"},
+		BlockingPkgs:  []string{"net/http", "net", "os", "datamarket/internal/store"},
+		BlockingFuncs: []string{"time.Sleep"},
+		ExemptCallees: []string{
+			"(datamarket/internal/store.Store).Put",
+			"(datamarket/internal/store.Store).PutAsync",
+			"(datamarket/internal/store.Store).Delete",
+			"(*datamarket/internal/store.Ticket).Wait",
+		},
+		RegistryType:    "Registry",
+		VisitMethod:     "Visit",
+		ObserverMethods: []string{"StreamCreated", "StreamRestored", "StreamDeleted"},
+		Anchor:          "datamarket/internal/server",
 	}
 }
 
@@ -112,32 +132,13 @@ func checkHeldLocks(pass *analysis.Pass, cfg Config, pkg *analysis.Package, fd *
 			if !ok {
 				return true
 			}
-			fn := analysis.CalleeOf(pkg.TypesInfo, call)
-			if fn == nil || fn.Pkg() == nil {
+			fn := calleeOf(pkg.TypesInfo, call)
+			if fn == nil || !isBlockingCall(cfg, fn) {
 				return true
 			}
-			path := fn.Pkg().Path()
-			for _, exempt := range cfg.ExemptCalleePkgs {
-				if path == exempt {
-					return true
-				}
-			}
-			blocking := false
-			for _, p := range cfg.BlockingPkgs {
-				if path == p {
-					blocking = true
-				}
-			}
-			for _, f := range cfg.BlockingFuncs {
-				if fn.FullName() == f {
-					blocking = true
-				}
-			}
-			if blocking {
-				pass.Reportf(call.Pos(),
-					"call to %s while holding %s: blocking I/O under a lock stalls every contender (release the lock first, or route through the journaled store path)",
-					fn.FullName(), heldNames(held))
-			}
+			pass.Reportf(call.Pos(),
+				"call to %s while holding %s: blocking I/O under a lock stalls every contender (release the lock first, or route through the store's enqueue-then-wait commit path)",
+				fn.FullName(), heldNames(held))
 			return true
 		})
 	})
@@ -275,13 +276,23 @@ func checkObserver(pass *analysis.Pass, cfg Config, pkg *analysis.Package, fd *a
 		fmt.Sprintf("inside lifecycle observer %s (runs under the registry shard write lock)", fd.Name.Name))
 }
 
-// checkUnderShardLock flags registry re-entry and mutex acquisition in
-// a body known to execute under a registry shard lock.
+// checkUnderShardLock flags registry re-entry, mutex acquisition, and
+// blocking calls in a body known to execute under a registry shard
+// lock. Blocking calls obey the same exemption list as rule 1: the
+// store's enqueue-then-wait commit path (PutAsync queues the record and
+// returns without file I/O) is the sanctioned way to journal from a
+// Visit callback or lifecycle observer.
 func checkUnderShardLock(pass *analysis.Pass, cfg Config, pkg *analysis.Package, body *ast.BlockStmt, where string) {
 	info := pkg.TypesInfo
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
+			return true
+		}
+		if fn := calleeOf(info, call); fn != nil && isBlockingCall(cfg, fn) {
+			pass.Reportf(call.Pos(),
+				"call to %s %s blocks under the shard lock; only the store's enqueue-then-wait commit path (Put, PutAsync, Delete, Ticket.Wait) is sanctioned here",
+				fn.FullName(), where)
 			return true
 		}
 		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
@@ -329,6 +340,59 @@ func checkMutexCopies(pass *analysis.Pass, pkg *analysis.Package, fd *ast.FuncDe
 }
 
 // --- shared helpers ---
+
+// calleeOf resolves a call's static callee like analysis.CalleeOf, but
+// keeps interface methods instead of dropping them: this pass judges
+// calls by where the callee is declared (is it the store's commit
+// path?), and for an interface call the declaring interface is exactly
+// the right identity — the serving layer journals through store.Store,
+// so "(datamarket/internal/store.Store).Put" is the name the exemption
+// list and the blocking verdict must see.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Package-qualified call: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isBlockingCall reports whether fn counts as blocking under cfg:
+// declared in a blocking package or named in BlockingFuncs, and not on
+// the exemption list.
+func isBlockingCall(cfg Config, fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	full := fn.FullName()
+	for _, exempt := range cfg.ExemptCallees {
+		if full == exempt {
+			return false
+		}
+	}
+	path := fn.Pkg().Path()
+	for _, p := range cfg.BlockingPkgs {
+		if path == p {
+			return true
+		}
+	}
+	for _, f := range cfg.BlockingFuncs {
+		if full == f {
+			return true
+		}
+	}
+	return false
+}
 
 func typeOf(info *types.Info, e ast.Expr) types.Type {
 	if tv, ok := info.Types[e]; ok && tv.Type != nil {

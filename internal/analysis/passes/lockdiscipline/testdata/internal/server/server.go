@@ -37,7 +37,7 @@ func (reg *Registry) Get(name string) *stream {
 	return s
 }
 
-// --- rule 1: blocking I/O under a held lock ---
+// --- rule 1: blocking calls under a held lock ---
 
 // badFetch blocks on the network while holding the shard lock.
 func (reg *Registry) badFetch(url string) {
@@ -64,15 +64,43 @@ func (reg *Registry) goodFetch(url string) {
 	}
 }
 
-// goodJournal calls the journaled store path under the write lock —
-// the one sanctioned exception.
-func (reg *Registry) goodJournal(name string) {
+// goodJournal records a lifecycle event write-ahead under the shard
+// write lock through the store's commit path — the sanctioned
+// exception, resolved through the Store interface.
+func (reg *Registry) goodJournal(st store.Store, name string) {
 	reg.mu.Lock()
 	defer reg.mu.Unlock()
-	store.Append(name)
+	st.Put(store.Entry{ID: name})
 }
 
-// --- rules 2 and 3: re-entry and lock acquisition under the shard lock ---
+// goodGroupCommit is the committer shape: enqueue the record under the
+// lock (PutAsync does no file I/O), then wait for the shared group
+// commit — both legs are exempt.
+func (reg *Registry) goodGroupCommit(st store.Store, name string) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	tkt := st.PutAsync(store.Entry{ID: name})
+	tkt.Wait()
+}
+
+// badAppend bypasses the commit path: a raw append is blocking file
+// I/O like any other store call off the exemption list.
+func (reg *Registry) badAppend(name string) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	store.Append(name) // want `call to datamarket/internal/store.Append while holding reg.mu`
+}
+
+// badCompact rewrites the whole live set while holding the shard lock;
+// interface dispatch does not hide the store call from the check.
+func (reg *Registry) badCompact(st store.Store) {
+	reg.mu.Lock()
+	st.Compact() // want `call to \(datamarket/internal/store.Store\).Compact while holding reg.mu`
+	reg.mu.Unlock()
+}
+
+// --- rules 2 and 3: re-entry, lock acquisition, and blocking calls
+// under the shard lock ---
 
 var auditMu sync.Mutex
 
@@ -94,9 +122,21 @@ func useRegistry(reg *Registry) {
 	})
 }
 
+// visitJournal journals from inside Visit callbacks: enqueue-then-wait
+// is the sanctioned shape, compaction is not.
+func visitJournal(reg *Registry, st store.Store) {
+	reg.Visit(func(s *stream) {
+		st.PutAsync(store.Entry{ID: s.name}).Wait()
+	})
+	reg.Visit(func(s *stream) {
+		st.Compact() // want `call to \(datamarket/internal/store.Store\).Compact inside a Registry.Visit callback .* blocks under the shard lock`
+	})
+}
+
 // persister's lifecycle observers run under the shard write lock.
 type persister struct {
 	reg *Registry
+	st  store.Store
 }
 
 // StreamCreated re-enters the registry — deadlock.
@@ -104,10 +144,15 @@ func (p *persister) StreamCreated(name string) {
 	p.reg.Get(name) // want "call to Registry.Get inside lifecycle observer StreamCreated .* would re-enter the registry lock and deadlock"
 }
 
-// StreamDeleted journals only, which is fine: the exempt store call
-// is neither re-entry nor a lock acquisition.
+// StreamRestored bypasses the commit path inside an observer.
+func (p *persister) StreamRestored(name string) {
+	store.Append(name) // want `call to datamarket/internal/store.Append inside lifecycle observer StreamRestored .* blocks under the shard lock`
+}
+
+// StreamDeleted journals the tombstone through the exempt commit path —
+// write-ahead deletes under the shard write lock are the design.
 func (p *persister) StreamDeleted(name string) {
-	store.Append(name)
+	p.st.Delete(name)
 }
 
 // --- rule 4: mutex copies ---

@@ -1,7 +1,34 @@
-// Package store is the journaled write-ahead fixture: calls into it
-// are the sanctioned exception to the no-I/O-under-lock rule, because
-// registry lifecycle events journal under the shard lock by design.
+// Package store is the journal fixture. The Store interface's commit
+// path — Put, PutAsync, Delete, and Ticket.Wait — is the sanctioned
+// exception to the no-blocking-under-lock rule: enqueue-then-wait does
+// no file I/O under the caller's lock, the group commit runs on the
+// store's own committer goroutine. Everything else in the package
+// (Append, Compact) blocks and must never run under a shard lock.
 package store
 
-// Append journals a record; safe under the shard lock by design.
+// Entry is one persisted record.
+type Entry struct {
+	ID  string
+	Rev uint64
+}
+
+// Ticket is the asynchronous handle of an enqueued record.
+type Ticket struct{ err error }
+
+// Wait blocks until the record's group commit lands; exempt — waiting
+// for the shared commit is how write-ahead ordering is preserved.
+func (t *Ticket) Wait() error { return t.err }
+
+// Store is the fixture persistence interface.
+type Store interface {
+	// Put, PutAsync, and Delete are the exempt commit path.
+	Put(e Entry) error
+	PutAsync(e Entry) *Ticket
+	Delete(id string) error
+	// Compact rewrites the whole live set: blocking, never under a lock.
+	Compact() error
+}
+
+// Append is a raw journal append, deliberately not on the exemption
+// list: callers must go through the Store commit path.
 func Append(rec string) error { return nil }

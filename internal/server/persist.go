@@ -12,6 +12,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -108,19 +109,55 @@ func AttachPersistence(reg *Registry, st store.Store, cfg PersistConfig) (*Persi
 // be re-journaled as fresh lifecycle events. A stream that fails to
 // restore fails recovery loudly: silently dropping it would be exactly
 // the state loss the subsystem exists to prevent.
+//
+// Replay runs in parallel, one worker per registry shard: restores
+// within a shard serialize on the shard's lock anyway, while distinct
+// shards rebuild their posters (the expensive part — envelope decode +
+// mechanism reconstruction) concurrently. Recovery wall time therefore
+// scales with the largest shard, not the total stream count.
 func (p *Persister) Recover() (int, error) {
 	entries, err := p.st.Load()
 	if err != nil {
 		return 0, fmt.Errorf("server: loading store: %w", err)
 	}
+	groups := make(map[int][]store.Entry)
 	for _, e := range entries {
-		st, _, err := p.reg.GetOrRestore(e.ID, e.Env)
-		if err != nil {
-			return 0, fmt.Errorf("server: recovering stream %q: %w", e.ID, err)
-		}
-		p.revMu.Lock()
-		p.lastRev[e.ID] = st.Revision()
-		p.revMu.Unlock()
+		i := p.reg.ShardIndex(e.ID)
+		groups[i] = append(groups[i], e)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	var (
+		wg    sync.WaitGroup
+		sem   = make(chan struct{}, max(workers, 1))
+		errMu sync.Mutex
+		errs  []error
+	)
+	for _, group := range groups {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(group []store.Entry) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			for _, e := range group {
+				st, _, err := p.reg.GetOrRestore(e.ID, e.Env)
+				if err != nil {
+					errMu.Lock()
+					errs = append(errs, fmt.Errorf("server: recovering stream %q: %w", e.ID, err))
+					errMu.Unlock()
+					return
+				}
+				p.revMu.Lock()
+				p.lastRev[e.ID] = st.Revision()
+				p.revMu.Unlock()
+			}
+		}(group)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return 0, errors.Join(errs...)
 	}
 	p.recovered = len(entries)
 	if len(entries) > 0 {
@@ -175,10 +212,11 @@ func (p *Persister) Checkpoint() CheckpointStats {
 	start := time.Now()
 	streams := p.reg.Streams()
 	stats := CheckpointStats{Streams: len(streams)}
+	pendings := make([]pendingPersist, 0, 64)
 	for _, st := range streams {
-		switch err := p.checkpointStream(st); {
+		switch pp, err := p.checkpointStream(st); {
 		case err == nil:
-			stats.Persisted++
+			pendings = append(pendings, pp)
 		case errors.Is(err, errCheckpointClean):
 			stats.SkippedClean++
 		case errors.Is(err, errCheckpointPending):
@@ -190,6 +228,26 @@ func (p *Persister) Checkpoint() CheckpointStats {
 			stats.Errors++
 			p.logf("checkpoint: stream %q: %v", st.ID(), err)
 		}
+	}
+	// Every dirty stream's delta is enqueued; now wait for the shared
+	// group commits. The whole pass costs a handful of fsyncs instead of
+	// one per dirty stream, and no shard lock is held while any of them
+	// run — the locks were released as soon as each delta was queued.
+	for _, pp := range pendings {
+		if err := pp.tkt.Wait(); err != nil {
+			stats.Errors++
+			p.logf("checkpoint: stream %q: %v", pp.id, err)
+			// Undo the optimistic revision record so the stream is
+			// re-persisted next pass — unless a newer persist of the same
+			// stream already landed.
+			p.revMu.Lock()
+			if p.lastRev[pp.id] == pp.rev {
+				delete(p.lastRev, pp.id)
+			}
+			p.revMu.Unlock()
+			continue
+		}
+		stats.Persisted++
 	}
 	stats.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
 	p.revMu.Lock()
@@ -219,6 +277,7 @@ func (p *Persister) Checkpoint() CheckpointStats {
 	// Auto-compaction rides the pass boundary, never an individual
 	// journal append — here no registry lock is held, so rewriting the
 	// whole live set stalls nothing but the next pass.
+	//lint:ignore lockdiscipline passMu exists to serialize passes, and compaction riding the pass boundary under it is the design; no registry lock is held here
 	switch compacted, err := p.st.MaybeCompact(); {
 	case err != nil:
 		p.logf("checkpoint: compacting store: %v", err)
@@ -234,24 +293,39 @@ var (
 	errCheckpointPending = errors.New("checkpoint: round pending")
 )
 
-// checkpointStream persists one stream if its revision moved. The
-// revision is read before the snapshot: a round landing in between makes
-// the snapshot newer than the recorded revision, which costs one
-// redundant persist next pass — never a lost one. Running inside
-// Registry.Visit orders the persist strictly against any concurrent
-// delete of the same stream, and the pointer-identity check guards the
-// delete-then-recreate race: Visit resolves the ID fresh, and recording
-// the old stream's revision against a new stream's ID would silently
-// gate the new stream's checkpoints off forever.
-func (p *Persister) checkpointStream(st *Stream) error {
+// pendingPersist is one enqueued checkpoint delta awaiting its group
+// commit; the pass waits on the ticket after visiting every stream.
+type pendingPersist struct {
+	id  string
+	rev uint64
+	tkt *store.Ticket
+}
+
+// checkpointStream enqueues one stream's delta if its revision moved,
+// returning the commit ticket for the pass to wait on. The revision is
+// read before the snapshot: a round landing in between makes the
+// snapshot newer than the recorded revision, which costs one redundant
+// persist next pass — never a lost one. Running inside Registry.Visit
+// orders the persist strictly against any concurrent delete of the same
+// stream, and the pointer-identity check guards the delete-then-recreate
+// race: Visit resolves the ID fresh, and recording the old stream's
+// revision against a new stream's ID would silently gate the new
+// stream's checkpoints off forever.
+//
+// Only the enqueue happens under the shard lock (PutAsync returns
+// without any file I/O); the commit itself — the write and fsync — runs
+// on the store's committer goroutine after the lock is gone, so pricing
+// on this shard never stalls behind the disk.
+func (p *Persister) checkpointStream(st *Stream) (pendingPersist, error) {
 	id := st.ID()
 	rev := st.Revision()
 	p.revMu.Lock()
 	last, seen := p.lastRev[id]
 	p.revMu.Unlock()
 	if seen && last == rev {
-		return errCheckpointClean
+		return pendingPersist{}, errCheckpointClean
 	}
+	var pp pendingPersist
 	err := p.reg.Visit(id, func(cur *Stream) error {
 		if cur != st {
 			// The ID now names a different stream (deleted and
@@ -272,19 +346,19 @@ func (p *Persister) checkpointStream(st *Stream) error {
 			}
 			return err
 		}
-		if err := p.st.Put(store.Entry{ID: id, Rev: rev, Env: env}); err != nil {
-			return err
-		}
+		pp = pendingPersist{id: id, rev: rev, tkt: p.st.PutAsync(store.Entry{ID: id, Rev: rev, Env: env})}
 		// Record the revision while the shard lock still pins identity:
 		// written after Visit returns, it could overwrite the lastRev of
-		// a stream deleted and recreated under this ID in the gap.
+		// a stream deleted and recreated under this ID in the gap. The
+		// record is optimistic — the delta is only enqueued — and the
+		// pass deletes it again if the commit fails.
 		//lint:ignore lockdiscipline documented lock order shard → revMu, same as the observer callbacks; revMu is a leaf lock that never calls out
 		p.revMu.Lock()
 		p.lastRev[id] = rev
 		p.revMu.Unlock()
 		return nil
 	})
-	return err
+	return pp, err
 }
 
 // StreamCreated journals the new stream's initial state (write-ahead:

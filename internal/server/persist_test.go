@@ -3,12 +3,16 @@ package server
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"datamarket/internal/linalg"
 	"datamarket/internal/pricing"
@@ -230,6 +234,139 @@ func TestRestartUnderLoad(t *testing.T) {
 	}
 }
 
+// TestKillDuringLoadFsyncAlways simulates kill -9 mid-load under the
+// strictest durability setting: concurrent pricing clients and a
+// checkpointer hammer a journal running -fsync always with aggressive
+// segment rotation, while the data directory is copied file-by-file in
+// segment order. The copy is what a crash leaves behind — retired
+// segments are immutable, only the highest-numbered segment captured
+// can be torn — and it must recover into a registry whose every stream
+// passes the internal-consistency invariants.
+func TestKillDuringLoadFsyncAlways(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.OpenJournal(store.JournalConfig{
+		Dir: dir, Fsync: store.FsyncAlways,
+		CommitWindow: 200 * time.Microsecond,
+		// Rotate constantly so the snapshot spans many segments, and
+		// never compact: a checkpoint rewrite racing the copy would not
+		// be crash-consistent (a real kill -9 can't catch a rename
+		// half-done; a file copy can).
+		SegmentSize: 4 << 10,
+		CompactAt:   -1,
+	})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	reg := NewRegistry(8)
+	p, _, err := AttachPersistence(reg, st, PersistConfig{Interval: -1})
+	if err != nil {
+		t.Fatalf("AttachPersistence: %v", err)
+	}
+	var ids []string
+	for _, req := range multiFamilyCreates() {
+		if _, err := reg.Create(req); err != nil {
+			t.Fatalf("Create %s: %v", req.ID, err)
+		}
+		ids = append(ids, req.ID)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	ckptDone := make(chan struct{})
+	go func() { // checkpointer: the sustained journal-append load
+		defer close(ckptDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p.Checkpoint()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s, err := reg.Get(ids[rng.Intn(len(ids))])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				x := make(linalg.Vector, s.Dim())
+				for j := range x {
+					x[j] = rng.Float64()
+				}
+				if _, _, err := s.Price(x, rng.Float64()*0.5, rng.Float64()*2); err != nil {
+					t.Errorf("Price: %v", err)
+					return
+				}
+			}
+		}(int64(w) + 300)
+	}
+
+	// The kill: snapshot the data directory while appends are in
+	// flight. ReadDir returns names sorted, which is also segment-index
+	// order (zero-padded), so every segment copied before the last one
+	// was already retired — immutable — when its bytes were read; only
+	// the final, active segment can carry a torn tail in the copy.
+	time.Sleep(20 * time.Millisecond)
+	copyDir := t.TempDir()
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	for _, de := range names {
+		src, err := os.Open(filepath.Join(dir, de.Name()))
+		if err != nil {
+			t.Fatalf("Open %s: %v", de.Name(), err)
+		}
+		dst, err := os.Create(filepath.Join(copyDir, de.Name()))
+		if err != nil {
+			t.Fatalf("Create %s: %v", de.Name(), err)
+		}
+		if _, err := io.Copy(dst, src); err != nil {
+			t.Fatalf("copying %s: %v", de.Name(), err)
+		}
+		src.Close()
+		dst.Close()
+	}
+
+	close(stop)
+	wg.Wait()
+	<-ckptDone
+	if err := p.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// Recover the snapshot. Whatever instant the copy caught, every
+	// stream must come back whole: write-ahead creates mean all streams
+	// exist, and snapshot atomicity means no recovered stream can have
+	// half a round.
+	fx := openPersistent(t, copyDir, store.FsyncNever)
+	defer fx.p.Shutdown()
+	if got := fx.reg.Len(); got != len(ids) {
+		t.Fatalf("recovered %d streams, want %d", got, len(ids))
+	}
+	for id, s := range registryStats(t, fx.reg) {
+		if s.Counters.Accepts+s.Counters.Rejects+s.Counters.Skips != s.Counters.Rounds {
+			t.Fatalf("stream %s recovered inconsistent counters: %+v", id, s.Counters)
+		}
+		if s.Regret.Rounds != s.Counters.Rounds {
+			t.Fatalf("stream %s: regret tracker has %d rounds, counters %d — recovery tore a round",
+				id, s.Regret.Rounds, s.Counters.Rounds)
+		}
+	}
+}
+
 // TestCheckpointRevisionGating is the acceptance check that checkpoint
 // passes are revision-gated: untouched streams are skipped, touched ones
 // persisted, exactly.
@@ -299,7 +436,7 @@ func TestCheckpointDeleteRecreateRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fx.p.checkpointStream(old); !errors.Is(err, errCheckpointClean) {
+	if _, err := fx.p.checkpointStream(old); !errors.Is(err, errCheckpointClean) {
 		t.Fatalf("checkpointStream(stale) = %v, want clean skip", err)
 	}
 	// The new stream's rounds must still persist once it reaches the
@@ -373,6 +510,8 @@ func (f *failingStore) Put(e store.Entry) error {
 	}
 	return f.mem.Put(e)
 }
+
+func (f *failingStore) PutAsync(e store.Entry) *store.Ticket { return f.mem.PutAsync(e) }
 
 func (f *failingStore) Delete(id string) error {
 	if f.fail {

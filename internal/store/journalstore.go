@@ -10,9 +10,9 @@ import (
 	"time"
 )
 
-// File names inside the data directory.
+// Checkpoint file names inside the data directory. Segment file naming
+// lives in segment.go.
 const (
-	journalFile    = "journal.wal"
 	checkpointFile = "checkpoint.ckpt"
 	checkpointTmp  = "checkpoint.ckpt.tmp"
 )
@@ -20,10 +20,10 @@ const (
 // FsyncPolicy selects how aggressively the journal is flushed to stable
 // storage. The trade-off is the classic WAL one: "always" makes every
 // acknowledged lifecycle event and checkpoint record survive a machine
-// crash at the cost of one fsync per append; "interval" bounds the loss
-// window to the sync interval; "never" leaves flushing to the OS page
-// cache (a process crash loses nothing — the file writes happened — but
-// a machine crash can lose the unflushed tail).
+// crash at the cost of one fsync per group commit; "interval" bounds the
+// loss window to the sync interval; "never" leaves flushing to the OS
+// page cache (a process crash loses nothing — the file writes happened —
+// but a machine crash can lose the unflushed tail).
 type FsyncPolicy string
 
 const (
@@ -53,55 +53,95 @@ type JournalConfig struct {
 	Fsync FsyncPolicy
 	// SyncEvery is the FsyncInterval flush period; default 100ms.
 	SyncEvery time.Duration
-	// CompactAt is the journal-tail size (bytes) beyond which
-	// MaybeCompact compacts. Default 64 MB; negative makes MaybeCompact
-	// a no-op (explicit Compact calls still work).
+	// SegmentSize is the active-segment size (bytes) beyond which the
+	// committer rotates to a fresh segment. Default 16 MB; negative
+	// disables rotation (single ever-growing active segment).
+	SegmentSize int64
+	// CommitWindow bounds how long the committer lingers after the first
+	// record of a batch arrives, accumulating more records so they share
+	// one fsync (FsyncAlways only; a full batch flushes immediately).
+	// Default 1ms; negative commits every batch as soon as it is seen.
+	CommitWindow time.Duration
+	// CompactAt is the journal-tail size (bytes, summed across segments)
+	// beyond which MaybeCompact compacts. Default 64 MB; negative makes
+	// MaybeCompact a no-op (explicit Compact calls still work).
 	CompactAt int64
 }
 
-// Journal is the on-disk Store: an append-only journal of CRC-framed
-// records plus a checkpoint file that compaction rewrites. The full live
-// set is also kept in memory (it must fit anyway — the registry holds
-// live posters for every stream), which makes Load trivial and lets
-// Compact rewrite the checkpoint without re-reading the journal.
+// Journal is the on-disk Store: a segmented write-ahead log of
+// CRC-framed records plus a base checkpoint file that compaction
+// rewrites. The full live set is also kept in memory (it must fit
+// anyway — the registry holds live posters for every stream), which
+// makes Load trivial and lets Compact rewrite the checkpoint without
+// re-reading the journal.
+//
+// Writes go through group commit: appenders enqueue framed records and
+// a single committer goroutine batches them into one write (and, under
+// FsyncAlways, one shared fsync) per commit window — see committer.go.
+// The committer also rotates the active segment at SegmentSize
+// boundaries; retired segments are immutable until a compaction folds
+// every segment's records into the base checkpoint and deletes them.
 //
 // Crash safety: appends are framed, so a crash mid-append leaves a torn
-// tail that the next open detects by CRC and truncates. Checkpoints are
-// written to a temp file, fsynced, and renamed into place, so a crash
-// mid-compaction leaves the previous checkpoint intact; the checkpoint's
-// meta record carries the last LSN it includes, so journal records that
-// survive a crash between the rename and the journal reset are
-// recognized as already-applied and skipped on replay.
+// tail in the newest segment that the next open detects by CRC and
+// truncates; a torn frame in any older segment is real corruption and
+// fails the open. Checkpoints are written to a temp file, fsynced, and
+// renamed into place, so a crash mid-compaction leaves the previous
+// checkpoint intact; the checkpoint's meta record carries the last LSN
+// it includes, so segment records that survive a crash between the
+// rename and the segment reset are recognized as already-applied and
+// skipped on replay. A pre-segmentation journal.wal is migrated
+// transparently (replayed as the oldest retired segment).
 type Journal struct {
 	cfg JournalConfig
 
-	mu       sync.Mutex
-	closed   bool
-	broken   bool  // a failed append could not be rolled back; appends refused
-	brokenAt int64 // end of the good prefix when broken; Close retries truncating here
-	f        *os.File
-	dirty    bool // appended since last fsync
+	mu        sync.Mutex
+	idle      *sync.Cond // signaled when pending drains and no batch I/O is in flight
+	closed    bool
+	broken    bool  // a failed batch could not be rolled back; appends refused
+	brokenAt  int64 // end of the active segment's good prefix when broken
+	brokenErr error
+
+	f       *os.File // active segment
+	active  segmentInfo
+	retired []segmentInfo
+	nextIdx uint64 // next segment index to create (monotonic, never reused)
+	dirty   bool   // appended since last fsync
+
+	// Group-commit queue (see committer.go).
+	pending      []*commitReq
+	pendingBytes int64
+	pendingSince time.Time // when pending went empty → non-empty
+	committing   bool      // batch I/O in flight outside the lock
 
 	entries map[string]Entry
 	lsn     uint64 // last assigned sequence number
 	ckptLSN uint64 // last LSN covered by the checkpoint file
 
-	journalBytes   int64
+	journalBytes   int64 // across all segments
 	journalRecords int
 	ckptBytes      int64
 	appends        uint64
 	compactions    uint64
+	commits        uint64
+	commitRecs     uint64
+	commitWait     time.Duration
 	syncErrors     uint64
 	recovered      int
 	tornRepaired   bool
 
-	stopSync chan struct{}
-	syncDone chan struct{}
+	kick       chan struct{} // buffered 1: records pending
+	full       chan struct{} // buffered 1: batch hit a size cap
+	stopCommit chan struct{}
+	commitDone chan struct{}
+	stopSync   chan struct{}
+	syncDone   chan struct{}
 }
 
 // OpenJournal opens (or initializes) the journal store in cfg.Dir,
-// replaying checkpoint and journal into the in-memory live set and
-// truncating any torn tail a crash left behind.
+// replaying checkpoint and segments into the in-memory live set,
+// truncating any torn tail a crash left in the newest segment, and
+// starting the group-commit goroutine.
 func OpenJournal(cfg JournalConfig) (*Journal, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("store: journal needs a data directory")
@@ -115,6 +155,12 @@ func OpenJournal(cfg JournalConfig) (*Journal, error) {
 	if cfg.SyncEvery <= 0 {
 		cfg.SyncEvery = 100 * time.Millisecond
 	}
+	if cfg.SegmentSize == 0 {
+		cfg.SegmentSize = 16 << 20
+	}
+	if cfg.CommitWindow == 0 {
+		cfg.CommitWindow = time.Millisecond
+	}
 	if cfg.CompactAt == 0 {
 		cfg.CompactAt = 64 << 20
 	}
@@ -122,15 +168,16 @@ func OpenJournal(cfg JournalConfig) (*Journal, error) {
 		return nil, fmt.Errorf("store: creating data dir: %w", err)
 	}
 	j := &Journal{cfg: cfg, entries: make(map[string]Entry)}
+	j.idle = sync.NewCond(&j.mu)
 	if err := j.loadCheckpoint(); err != nil {
 		return nil, err
 	}
-	if err := j.replayJournal(); err != nil {
+	if err := j.replaySegments(); err != nil {
 		return nil, err
 	}
-	// Make the journal file's directory entry durable: per-append fsyncs
-	// flush the file's contents, but on a fresh data dir the file itself
-	// exists only once the directory is synced.
+	// Make the active segment's directory entry durable: per-commit
+	// fsyncs flush the file's contents, but on a fresh data dir the file
+	// itself exists only once the directory is synced.
 	if cfg.Fsync != FsyncNever {
 		if err := syncDir(cfg.Dir); err != nil {
 			j.f.Close()
@@ -138,6 +185,11 @@ func OpenJournal(cfg JournalConfig) (*Journal, error) {
 		}
 	}
 	j.recovered = len(j.entries)
+	j.kick = make(chan struct{}, 1)
+	j.full = make(chan struct{}, 1)
+	j.stopCommit = make(chan struct{})
+	j.commitDone = make(chan struct{})
+	go j.committerLoop()
 	if j.cfg.Fsync == FsyncInterval {
 		j.stopSync = make(chan struct{})
 		j.syncDone = make(chan struct{})
@@ -194,43 +246,90 @@ func (j *Journal) loadCheckpoint() error {
 	return nil
 }
 
-// replayJournal applies journal records past the checkpoint LSN to the
-// live set, truncates any torn tail, and leaves the file open for
-// appends.
-func (j *Journal) replayJournal() error {
-	path := filepath.Join(j.cfg.Dir, journalFile)
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// replaySegments replays every WAL segment oldest-first, applying
+// records past the checkpoint LSN to the live set. The newest numbered
+// segment stays open as the active one; when the directory holds no
+// numbered segment (fresh store, or only a migrated legacy journal.wal)
+// a fresh active segment is created.
+func (j *Journal) replaySegments() error {
+	segs, err := listSegments(j.cfg.Dir)
 	if err != nil {
-		return fmt.Errorf("store: opening journal: %w", err)
+		return err
 	}
+	for i := range segs {
+		si := &segs[i]
+		newest := i == len(segs)-1
+		f, err := os.OpenFile(si.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: opening segment %s: %w", si.path, err)
+		}
+		if err := j.replaySegment(f, si, newest); err != nil {
+			f.Close()
+			return err
+		}
+		j.journalBytes += si.bytes
+		j.journalRecords += si.records
+		if newest && si.index > 0 {
+			// Becomes the active segment: leave it open, positioned after
+			// the last whole frame.
+			if _, err := f.Seek(si.bytes, io.SeekStart); err != nil {
+				f.Close()
+				return fmt.Errorf("store: seeking segment end: %w", err)
+			}
+			j.f = f
+			j.active = *si
+		} else {
+			f.Close()
+			j.retired = append(j.retired, *si)
+		}
+	}
+	j.nextIdx = 1
+	if len(segs) > 0 {
+		j.nextIdx = segs[len(segs)-1].index + 1
+	}
+	if j.f == nil {
+		nf, err := createSegment(j.cfg.Dir, j.nextIdx)
+		if err != nil {
+			return err
+		}
+		j.f = nf
+		j.active = segmentInfo{index: j.nextIdx, path: nf.Name()}
+		j.nextIdx++
+	}
+	return nil
+}
+
+// replaySegment applies one segment's records. A torn frame ends the
+// newest segment (crash mid-append: truncate and continue) but is
+// corruption anywhere else — retired segments were complete before the
+// next one was created, so a hole in one means lost records.
+func (j *Journal) replaySegment(f *os.File, si *segmentInfo, newest bool) error {
 	r := bufio.NewReaderSize(f, 1<<20)
 	var offset int64
+	torn := false
 	for {
 		payload, err := readFrame(r)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			// A torn tail is what a crash mid-append leaves behind; the
-			// log ends at the last whole record.
-			j.tornRepaired = true
+			torn = true
 			break
 		}
 		rec, err := decodeRecord(payload)
 		if err != nil {
 			// The frame CRC passed but the payload is not a valid record:
 			// not a torn write, genuine corruption.
-			f.Close()
-			return fmt.Errorf("store: journal %s at offset %d: %w", path, offset, err)
+			return fmt.Errorf("store: segment %s at offset %d: %w", si.path, offset, err)
 		}
 		offset += frameHeaderSize + int64(len(payload))
-		j.journalRecords++
+		si.records++
 		if rec.LSN > j.lsn {
 			j.lsn = rec.LSN
 		}
 		if rec.LSN <= j.ckptLSN {
 			// Already folded into the checkpoint: a crash hit between the
-			// checkpoint rename and the journal reset.
+			// checkpoint rename and the segment reset.
 			continue
 		}
 		switch rec.Op {
@@ -239,29 +338,26 @@ func (j *Journal) replayJournal() error {
 		case opDel:
 			delete(j.entries, rec.ID)
 		case opCheckpoint:
-			f.Close()
-			return fmt.Errorf("store: journal %s carries a checkpoint record", path)
+			return fmt.Errorf("store: segment %s carries a checkpoint record", si.path)
 		}
 	}
-	if j.tornRepaired {
+	if torn {
+		if !newest {
+			return fmt.Errorf("store: segment %s is corrupt at offset %d (torn frame in a retired segment; only the newest segment may carry a crash tail)", si.path, offset)
+		}
 		if err := f.Truncate(offset); err != nil {
-			f.Close()
-			return fmt.Errorf("store: truncating torn journal tail: %w", err)
+			return fmt.Errorf("store: truncating torn segment tail: %w", err)
 		}
+		j.tornRepaired = true
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return fmt.Errorf("store: seeking journal end: %w", err)
-	}
-	j.journalBytes = offset
-	j.f = f
+	si.bytes = offset
 	return nil
 }
 
-// syncLoop flushes the journal every SyncEvery while dirty (FsyncInterval
-// policy). A failed sync keeps the dirty flag — the flush is retried on
-// the next tick — and is counted in Stats, so a failing disk cannot
-// silently void the policy's bounded-loss promise.
+// syncLoop flushes the active segment every SyncEvery while dirty
+// (FsyncInterval policy). A failed sync keeps the dirty flag — the flush
+// is retried on the next tick — and is counted in Stats, so a failing
+// disk cannot silently void the policy's bounded-loss promise.
 func (j *Journal) syncLoop() {
 	defer close(j.syncDone)
 	t := time.NewTicker(j.cfg.SyncEvery)
@@ -284,52 +380,6 @@ func (j *Journal) syncLoop() {
 	}
 }
 
-// append encodes and writes one record under the lock, applying the
-// fsync policy. A record either commits fully (written, and synced
-// under FsyncAlways) or not at all: a failed write *or* failed sync is
-// rolled back by truncating to the last good offset, so a rejected
-// operation does not resurrect on replay and a later successful append
-// can never land after a torn frame (replay would silently discard it).
-// If even the rollback fails, the journal is marked broken and refuses
-// all further appends rather than acknowledge records it may lose; the
-// truncate is retried at Close (see rollback for the residual window).
-func (j *Journal) append(rec *record) error {
-	frame, err := encodeRecord(rec)
-	if err != nil {
-		return err
-	}
-	lastGood := j.journalBytes
-	rollback := func(cause string, err error) error {
-		if terr := j.f.Truncate(lastGood); terr == nil {
-			if _, serr := j.f.Seek(lastGood, io.SeekStart); serr == nil {
-				return fmt.Errorf("store: %s journal record: %w", cause, err)
-			}
-		}
-		// The rejected frame may still be on disk; remember where the
-		// good prefix ends so Close can retry the truncate. If the
-		// process dies before any retry succeeds, the next boot can
-		// resurrect the rejected record — the unavoidable residue of a
-		// disk that fails writes and truncates at once.
-		j.broken = true
-		j.brokenAt = lastGood
-		return fmt.Errorf("store: journal append failed and could not be rolled back; journal disabled: %w", err)
-	}
-	if _, err := j.f.Write(frame); err != nil {
-		return rollback("appending", err)
-	}
-	if j.cfg.Fsync == FsyncAlways {
-		if err := j.f.Sync(); err != nil {
-			return rollback("syncing", err)
-		}
-	} else {
-		j.dirty = true
-	}
-	j.journalBytes += int64(len(frame))
-	j.journalRecords++
-	j.appends++
-	return nil
-}
-
 // appendable reports whether the journal can accept records. The caller
 // must hold j.mu.
 func (j *Journal) appendable() error {
@@ -342,42 +392,51 @@ func (j *Journal) appendable() error {
 	return nil
 }
 
-// Put records the latest state of one stream. Success means the record
-// is in the journal (durably, under FsyncAlways); compaction is a
-// separate concern — see MaybeCompact — so a full disk during
-// compaction can never fail an operation that already committed.
-func (j *Journal) Put(e Entry) error {
+// putAsync assigns an LSN and enqueues one record for group commit.
+func (j *Journal) putAsync(rec *record, e Entry) *Ticket {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if err := j.appendable(); err != nil {
-		return err
+		j.mu.Unlock()
+		return ResolvedTicket(err)
 	}
 	j.lsn++
-	if err := j.append(&record{LSN: j.lsn, Op: opPut, ID: e.ID, Rev: e.Rev, Env: e.Env}); err != nil {
-		j.lsn--
-		return err
+	rec.LSN = j.lsn
+	req, err := j.enqueue(rec, e)
+	if err != nil {
+		// Encode failure: nothing was queued. The LSN stays burned —
+		// monotonicity is all the gate needs, gaps are fine.
+		j.mu.Unlock()
+		return ResolvedTicket(err)
 	}
-	j.entries[e.ID] = e
-	return nil
+	j.mu.Unlock()
+	return &Ticket{ch: req.done}
+}
+
+// Put records the latest state of one stream. Success means the record's
+// group commit landed in the journal (durably, under FsyncAlways);
+// compaction is a separate concern — see MaybeCompact — so a full disk
+// during compaction can never fail an operation that already committed.
+func (j *Journal) Put(e Entry) error {
+	return j.PutAsync(e).Wait()
+}
+
+// PutAsync enqueues the record and returns its commit ticket without
+// waiting. Callers that write many records back to back (the
+// checkpointer's dirty-stream deltas) enqueue them all and wait on the
+// tickets afterwards, so the whole pass shares a handful of group
+// commits instead of paying one fsync per stream.
+func (j *Journal) PutAsync(e Entry) *Ticket {
+	return j.putAsync(&record{Op: opPut, ID: e.ID, Rev: e.Rev, Env: e.Env}, e)
 }
 
 // Delete records that a stream was removed.
 func (j *Journal) Delete(id string) error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if err := j.appendable(); err != nil {
-		return err
-	}
-	j.lsn++
-	if err := j.append(&record{LSN: j.lsn, Op: opDel, ID: id}); err != nil {
-		j.lsn--
-		return err
-	}
-	delete(j.entries, id)
-	return nil
+	return j.putAsync(&record{Op: opDel, ID: id}, Entry{}).Wait()
 }
 
-// Load returns the live entries, sorted by ID.
+// Load returns the live entries, sorted by ID. Records still waiting in
+// the commit queue are not included: the live set only ever reflects
+// committed records.
 func (j *Journal) Load() ([]Entry, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -387,11 +446,11 @@ func (j *Journal) Load() ([]Entry, error) {
 	return sortedEntries(j.entries), nil
 }
 
-// MaybeCompact compacts if the journal tail has outgrown CompactAt,
-// reporting whether it did. Callers that batch appends (the server's
-// checkpointer) invoke it once per pass, outside their own locks —
-// compaction rewrites the whole live set, far too much work to hang off
-// an individual Put.
+// MaybeCompact compacts if the journal tail (summed across segments)
+// has outgrown CompactAt, reporting whether it did. Callers that batch
+// appends (the server's checkpointer) invoke it once per pass, outside
+// their own locks — compaction rewrites the whole live set, far too much
+// work to hang off an individual Put.
 func (j *Journal) MaybeCompact() (bool, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -407,8 +466,8 @@ func (j *Journal) MaybeCompact() (bool, error) {
 	return true, nil
 }
 
-// Compact folds the live set into a fresh checkpoint and resets the
-// journal tail.
+// Compact folds the live set into a fresh checkpoint, deletes every
+// segment, and starts a fresh active segment.
 func (j *Journal) Compact() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -418,13 +477,36 @@ func (j *Journal) Compact() error {
 	return j.compactLocked()
 }
 
+// quiesceLocked waits until the commit queue is empty and no batch I/O
+// is in flight. Compaction needs this: the checkpoint it writes must
+// cover exactly the committed state (j.lsn is only meaningful once every
+// assigned LSN has been applied), and the segment files must not be
+// swapped out from under the committer. The caller must hold j.mu.
+func (j *Journal) quiesceLocked() error {
+	for (len(j.pending) > 0 || j.committing) && !j.closed {
+		j.idle.Wait()
+	}
+	if j.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
 // compactLocked writes checkpoint.ckpt.tmp (meta record + one put per
 // live entry), fsyncs it, renames it over checkpoint.ckpt, fsyncs the
-// directory so the rename is durable, and only then resets the journal.
-// Every step is ordered so that a crash at any point leaves either the
-// old checkpoint + full journal or the new checkpoint + (possibly
-// stale, LSN-gated) journal.
+// directory so the rename is durable, and only then retires every
+// segment and starts a fresh one. Every step is ordered so that a crash
+// at any point leaves either the old checkpoint + full journal or the
+// new checkpoint + (possibly stale, LSN-gated) journal.
+//
+// Compaction also clears the broken latch: the rejected tail the latch
+// was protecting against lives in the old active segment, which is
+// deleted wholesale, and the new checkpoint was written from the
+// in-memory live set, which never saw the failed batch.
 func (j *Journal) compactLocked() error {
+	if err := j.quiesceLocked(); err != nil {
+		return err
+	}
 	tmpPath := filepath.Join(j.cfg.Dir, checkpointTmp)
 	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -473,17 +555,35 @@ func (j *Journal) compactLocked() error {
 	}
 	j.ckptLSN = j.lsn
 	j.ckptBytes = written
-	// Reset the journal tail. If the truncate is lost to a crash, replay
-	// skips the stale records via the LSN gate.
-	if err := j.f.Truncate(0); err != nil {
-		return fmt.Errorf("store: resetting journal: %w", err)
+	// Start the fresh active segment before removing anything: if the
+	// create fails the old journal stays fully intact, merely redundant
+	// behind the new checkpoint (replay skips it via the LSN gate).
+	nf, err := createSegment(j.cfg.Dir, j.nextIdx)
+	if err != nil {
+		return err
 	}
-	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("store: rewinding journal: %w", err)
+	oldActive := j.active.path
+	j.f.Close()
+	for _, s := range j.retired {
+		os.Remove(s.path)
 	}
+	os.Remove(oldActive)
+	if j.cfg.Fsync != FsyncNever {
+		// Removal-flush failures are deliberately not fatal: a segment
+		// resurrected by a crash replays as a no-op behind the LSN gate,
+		// and the next compaction retries the directory sync.
+		_ = syncDir(j.cfg.Dir)
+	}
+	j.retired = nil
+	j.active = segmentInfo{index: j.nextIdx, path: nf.Name()}
+	j.nextIdx++
+	j.f = nf
 	j.journalBytes = 0
 	j.journalRecords = 0
 	j.dirty = false
+	j.broken = false
+	j.brokenAt = 0
+	j.brokenErr = nil
 	j.compactions++
 	return nil
 }
@@ -512,9 +612,13 @@ func (j *Journal) Stats() Stats {
 		LastLSN:          j.lsn,
 		JournalBytes:     j.journalBytes,
 		JournalRecords:   j.journalRecords,
+		Segments:         len(j.retired) + 1,
 		CheckpointBytes:  j.ckptBytes,
 		Appends:          j.appends,
 		Compactions:      j.compactions,
+		Commits:          j.commits,
+		CommitRecords:    j.commitRecs,
+		CommitWaitMS:     float64(j.commitWait) / float64(time.Millisecond),
 		SyncErrors:       j.syncErrors,
 		RecoveredEntries: j.recovered,
 		TornTailRepaired: j.tornRepaired,
@@ -522,7 +626,8 @@ func (j *Journal) Stats() Stats {
 	}
 }
 
-// Close flushes and closes the journal. The store is unusable after.
+// Close drains the commit queue, flushes, and closes the journal. The
+// store is unusable after.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	if j.closed {
@@ -530,7 +635,12 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	j.closed = true
+	j.idle.Broadcast()
 	j.mu.Unlock()
+	// Stop the committer; its shutdown path drains every record enqueued
+	// before the closed latch, so no ticket is left unresolved.
+	close(j.stopCommit)
+	<-j.commitDone
 	if j.stopSync != nil {
 		close(j.stopSync)
 		<-j.syncDone
@@ -539,8 +649,8 @@ func (j *Journal) Close() error {
 	defer j.mu.Unlock()
 	var err error
 	if j.broken {
-		// Last chance to drop the rejected frame before the file is
-		// released; if this fails too, the next boot may replay it.
+		// Last chance to drop the rejected frames before the file is
+		// released; if this fails too, the next boot may replay them.
 		if terr := j.f.Truncate(j.brokenAt); terr != nil {
 			err = fmt.Errorf("store: closing broken journal, rejected tail not removed: %w", terr)
 		}

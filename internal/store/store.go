@@ -10,9 +10,10 @@
 // streams, and to read the surviving set back after a crash.
 //
 // Two backends ship: Mem, an in-memory map for tests and embedders that
-// want the lifecycle plumbing without disk, and Journal, an append-only
-// on-disk journal of CRC-framed records with checkpoint compaction and a
-// configurable fsync policy.
+// want the lifecycle plumbing without disk, and Journal, a segmented
+// write-ahead log of CRC-framed records with group commit, incremental
+// delta checkpoints, checkpoint compaction at segment-retirement
+// boundaries, and a configurable fsync policy.
 package store
 
 import (
@@ -46,18 +47,31 @@ type Stats struct {
 	// LastLSN is the sequence number of the most recent record.
 	LastLSN uint64 `json:"last_lsn"`
 	// JournalBytes and JournalRecords measure the append-only tail since
-	// the last compaction.
+	// the last compaction, summed across every live WAL segment.
 	JournalBytes   int64 `json:"journal_bytes"`
 	JournalRecords int   `json:"journal_records"`
+	// Segments counts the on-disk WAL segment files (retired + active).
+	Segments int `json:"segments"`
 	// CheckpointBytes is the size of the last written checkpoint file.
 	CheckpointBytes int64 `json:"checkpoint_bytes"`
 	// Appends and Compactions count operations since open.
 	Appends     uint64 `json:"appends"`
 	Compactions uint64 `json:"compactions"`
+	// Commits counts group commits: batches of appended records that
+	// shared one write (and, under the "always" policy, one fsync).
+	Commits uint64 `json:"commits"`
+	// CommitRecords counts the records those commits carried;
+	// CommitRecords/Commits is the realized group-commit batch size.
+	CommitRecords uint64 `json:"commit_records"`
+	// CommitWaitMS is the cumulative wall-clock time appenders spent
+	// waiting for their group commit to land.
+	CommitWaitMS float64 `json:"commit_wait_ms"`
 	// SyncErrors counts failed background flushes under the interval
 	// fsync policy (each is retried on the next tick; a non-zero value
-	// means the bounded-loss promise is currently at risk).
-	SyncErrors uint64 `json:"sync_errors,omitempty"`
+	// means the bounded-loss promise is currently at risk). Never
+	// omitted: an explicit 0 is the "disk is healthy" reading, which
+	// must stay distinguishable from "not reported".
+	SyncErrors uint64 `json:"sync_errors"`
 	// RecoveredEntries is the live set size found at open.
 	RecoveredEntries int `json:"recovered_entries"`
 	// TornTailRepaired reports that open found a torn record at the
@@ -70,13 +84,49 @@ type Stats struct {
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("store: closed")
 
-// Store is the persistence interface the serving layer drives. Put and
-// Delete record lifecycle events and checkpoint passes; Load returns the
-// surviving live set at boot; Compact folds the journal tail into a
-// fresh checkpoint. Implementations are safe for concurrent use.
+// Ticket is the asynchronous handle of an enqueued record. Wait blocks
+// until the record's group commit lands (or fails) and returns the
+// commit error; calling it again returns the same resolution. Tickets
+// let a caller enqueue many records — for example a checkpoint pass
+// enqueueing one delta per dirty stream while it holds that stream's
+// shard lock — and pay for one shared commit after the last enqueue,
+// instead of one fsync per record.
+type Ticket struct {
+	ch   chan error
+	once sync.Once
+	err  error
+}
+
+// Wait blocks until the enqueued record's commit resolves.
+func (t *Ticket) Wait() error {
+	t.once.Do(func() { t.err = <-t.ch })
+	return t.err
+}
+
+// ResolvedTicket builds an already-resolved ticket. Store backends that
+// commit synchronously (Mem, or any implementation without a group
+// commit) resolve at enqueue time and return one of these from PutAsync.
+func ResolvedTicket(err error) *Ticket {
+	t := &Ticket{ch: make(chan error, 1)}
+	t.ch <- err
+	return t
+}
+
+// Store is the persistence interface the serving layer drives. Put,
+// PutAsync, and Delete record lifecycle events and checkpoint deltas;
+// Load returns the surviving live set at boot; Compact folds the
+// journal tail into a fresh checkpoint. Implementations are safe for
+// concurrent use.
 type Store interface {
-	// Put records the latest state of one stream.
+	// Put records the latest state of one stream, returning once the
+	// record is committed (durably, under the journal backend's
+	// FsyncAlways policy). Lifecycle events use it: write-ahead means
+	// the event must be on disk before the in-memory commit.
 	Put(e Entry) error
+	// PutAsync enqueues the record and returns immediately; the ticket
+	// resolves when the record's group commit lands. Checkpoint passes
+	// use it so every dirty-stream delta of one pass shares one commit.
+	PutAsync(e Entry) *Ticket
 	// Delete records that a stream was removed.
 	Delete(id string) error
 	// Load returns the live entries, sorted by ID.
@@ -121,6 +171,10 @@ func (m *Mem) Put(e Entry) error {
 	m.entries[e.ID] = e
 	return nil
 }
+
+// PutAsync records the latest state of one stream. The map commits
+// synchronously, so the ticket is resolved before it is returned.
+func (m *Mem) PutAsync(e Entry) *Ticket { return ResolvedTicket(m.Put(e)) }
 
 // Delete records that a stream was removed.
 func (m *Mem) Delete(id string) error {

@@ -3,10 +3,12 @@ package store
 import (
 	"bufio"
 	"bytes"
+	"fmt"
 	"os"
-	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"datamarket/internal/pricing"
 )
@@ -34,6 +36,20 @@ func testEnv(t *testing.T, dim int, rounds int) *pricing.Envelope {
 		t.Fatalf("SnapshotEnvelope: %v", err)
 	}
 	return env
+}
+
+// newestSegment returns the path of the newest numbered WAL segment —
+// the one that was active when the journal last ran.
+func newestSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatalf("listSegments: %v", err)
+	}
+	if len(segs) == 0 || segs[len(segs)-1].index == 0 {
+		t.Fatalf("no numbered segment in %s", dir)
+	}
+	return segs[len(segs)-1].path
 }
 
 func loadMap(t *testing.T, s Store) map[string]Entry {
@@ -174,8 +190,8 @@ func TestJournalTornTailTruncated(t *testing.T) {
 		t.Fatalf("Close: %v", err)
 	}
 
-	// Simulate a crash mid-append: garbage at the tail.
-	path := filepath.Join(dir, journalFile)
+	// Simulate a crash mid-append: garbage at the active segment's tail.
+	path := newestSegment(t, dir)
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatalf("open journal: %v", err)
@@ -269,7 +285,8 @@ func TestJournalLSNGateSkipsStaleRecords(t *testing.T) {
 	if err := j.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	stale, err := os.ReadFile(filepath.Join(dir, journalFile))
+	stalePath := newestSegment(t, dir)
+	stale, err := os.ReadFile(stalePath)
 	if err != nil {
 		t.Fatalf("read journal: %v", err)
 	}
@@ -288,10 +305,11 @@ func TestJournalLSNGateSkipsStaleRecords(t *testing.T) {
 		t.Fatalf("Close: %v", err)
 	}
 
-	// "Lose" the journal reset: restore the pre-compaction journal whose
-	// record (a@rev1, LSN 1) is covered by the checkpoint (LSN 2).
-	if err := os.WriteFile(filepath.Join(dir, journalFile), stale, 0o644); err != nil {
-		t.Fatalf("restore stale journal: %v", err)
+	// "Lose" the segment removal: resurrect the pre-compaction segment
+	// whose record (a@rev1, LSN 1) is covered by the checkpoint (LSN 2).
+	// It comes back as a retired segment behind the fresh active one.
+	if err := os.WriteFile(stalePath, stale, 0o644); err != nil {
+		t.Fatalf("restore stale segment: %v", err)
 	}
 	j2, err := OpenJournal(JournalConfig{Dir: dir})
 	if err != nil {
@@ -357,6 +375,315 @@ func TestJournalBrokenAfterUnrecoverableAppend(t *testing.T) {
 	}
 	if err := j.Put(Entry{ID: "c", Rev: 1, Env: testEnv(t, 2, 0)}); err == nil {
 		t.Fatal("journal accepted an append after an unrecoverable failure")
+	}
+	// Compaction replaces every segment file wholesale, so it clears the
+	// latch: the rejected tail is gone and the checkpoint was written
+	// from the in-memory live set, which never saw the failed batch.
+	if err := j.Compact(); err != nil {
+		t.Fatalf("Compact on broken journal: %v", err)
+	}
+	if err := j.Put(Entry{ID: "d", Rev: 1, Env: testEnv(t, 2, 0)}); err != nil {
+		t.Fatalf("Put after compaction cleared the latch: %v", err)
+	}
+	got := loadMap(t, j)
+	if _, leaked := got["b"]; len(got) != 2 || leaked {
+		t.Fatalf("live set = %v, want a and d only", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestJournalSegmentRotation: a tiny SegmentSize forces a rotation after
+// every commit; the record stream must survive replay across segment
+// boundaries and compaction must collapse the chain to one fresh segment.
+func TestJournalSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalConfig{Dir: dir, Fsync: FsyncNever, SegmentSize: 1})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	for i, id := range []string{"a", "b", "c", "a"} {
+		if err := j.Put(Entry{ID: id, Rev: uint64(i + 1), Env: testEnv(t, 2, i)}); err != nil {
+			t.Fatalf("Put %s: %v", id, err)
+		}
+	}
+	if st := j.Stats(); st.Segments != 5 {
+		t.Fatalf("Segments = %d after 4 rotating commits, want 5 (4 retired + active)", st.Segments)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, err := OpenJournal(JournalConfig{Dir: dir, Fsync: FsyncNever, SegmentSize: 1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got := loadMap(t, j2)
+	if len(got) != 3 || got["a"].Rev != 4 {
+		t.Fatalf("live set = %v, want a@4, b@2, c@3", got)
+	}
+	st := j2.Stats()
+	if st.Segments != 5 || st.LastLSN != 4 {
+		t.Fatalf("post-replay Stats = %+v, want 5 segments at LSN 4", st)
+	}
+	if err := j2.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if st := j2.Stats(); st.Segments != 1 || st.JournalBytes != 0 {
+		t.Fatalf("post-compact Stats = %+v, want a single fresh segment", st)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatalf("listSegments: %v", err)
+	}
+	if len(segs) != 1 || segs[0].index != 6 {
+		t.Fatalf("on-disk segments = %v, want only the fresh index-6 segment", segs)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestJournalCrashMidRotation covers the crash windows around segment
+// rotation: an empty just-created segment, a torn tail in the newest
+// segment (repaired), and a torn frame in a retired segment (corruption —
+// the open must fail rather than silently drop records behind the hole).
+func TestJournalCrashMidRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalConfig{Dir: dir, Fsync: FsyncNever, SegmentSize: 1})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	for i, id := range []string{"a", "b", "c"} {
+		if err := j.Put(Entry{ID: id, Rev: uint64(i + 1), Env: testEnv(t, 2, i)}); err != nil {
+			t.Fatalf("Put %s: %v", id, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Crash between creating the next segment and the first append to it:
+	// the newest segment is empty, which replay must tolerate.
+	if f, err := createSegment(dir, 99); err != nil {
+		t.Fatalf("createSegment: %v", err)
+	} else {
+		f.Close()
+	}
+	j2, err := OpenJournal(JournalConfig{Dir: dir, Fsync: FsyncNever, SegmentSize: 1})
+	if err != nil {
+		t.Fatalf("reopen with empty newest segment: %v", err)
+	}
+	if st := j2.Stats(); st.TornTailRepaired {
+		t.Fatal("empty newest segment misreported as torn")
+	}
+	// Put lands in the empty newest segment, which became active.
+	if err := j2.Put(Entry{ID: "d", Rev: 4, Env: testEnv(t, 2, 0)}); err != nil {
+		t.Fatalf("Put after empty-segment recovery: %v", err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Crash mid-append after the rotation: torn tail in the newest
+	// segment is repaired...
+	tornPath := newestSegment(t, dir)
+	if err := appendGarbage(tornPath); err != nil {
+		t.Fatalf("append garbage: %v", err)
+	}
+	j3, err := OpenJournal(JournalConfig{Dir: dir, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatalf("reopen with torn newest segment: %v", err)
+	}
+	if st := j3.Stats(); !st.TornTailRepaired {
+		t.Fatalf("Stats = %+v, want TornTailRepaired", st)
+	}
+	if got := loadMap(t, j3); len(got) != 4 || got["d"].Rev != 4 {
+		t.Fatalf("live set = %v, want a, b, c, d@4", got)
+	}
+	if err := j3.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// ...but the same garbage in a retired segment is corruption.
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatalf("listSegments: %v", err)
+	}
+	if err := appendGarbage(segs[0].path); err != nil {
+		t.Fatalf("corrupt retired segment: %v", err)
+	}
+	if _, err := OpenJournal(JournalConfig{Dir: dir, Fsync: FsyncNever}); err == nil {
+		t.Fatal("open succeeded with a torn frame in a retired segment")
+	}
+}
+
+// appendGarbage writes a partial frame (a plausible crash artifact) at
+// the end of a segment file.
+func appendGarbage(path string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte{0x10, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// TestJournalDeltaSupersession: checkpoint-delta replay ordering. A
+// stale delta for a stream sits in an older segment; later records for
+// the same stream (higher LSN, newer segments) must win on replay, and a
+// deletion must not be resurrected by any earlier delta.
+func TestJournalDeltaSupersession(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalConfig{Dir: dir, Fsync: FsyncNever, SegmentSize: 1})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	// Each op lands in its own segment (SegmentSize: 1 rotates per commit).
+	steps := []func() error{
+		func() error { return j.Put(Entry{ID: "a", Rev: 1, Env: testEnv(t, 2, 1)}) },
+		func() error { return j.Put(Entry{ID: "b", Rev: 1, Env: testEnv(t, 2, 1)}) },
+		func() error { return j.Put(Entry{ID: "a", Rev: 2, Env: testEnv(t, 2, 2)}) },
+		func() error { return j.Delete("b") },
+		func() error { return j.Put(Entry{ID: "a", Rev: 3, Env: testEnv(t, 2, 3)}) },
+	}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j2, err := OpenJournal(JournalConfig{Dir: dir, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got := loadMap(t, j2)
+	if len(got) != 1 || got["a"].Rev != 3 {
+		t.Fatalf("live set = %v, want only a@3 (stale deltas superseded, b not resurrected)", got)
+	}
+	// Compaction folds the surviving deltas into the base checkpoint; the
+	// folded state must match.
+	if err := j2.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j3, err := OpenJournal(JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after compaction: %v", err)
+	}
+	defer j3.Close()
+	if got := loadMap(t, j3); len(got) != 1 || got["a"].Rev != 3 {
+		t.Fatalf("post-compaction live set = %v, want only a@3", got)
+	}
+}
+
+// TestJournalGroupCommitSharesFsyncs: concurrent appenders under
+// FsyncAlways must land in shared batches — far fewer commits (fsyncs)
+// than appends — without losing a record.
+func TestJournalGroupCommitSharesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalConfig{Dir: dir, Fsync: FsyncAlways, CommitWindow: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	const workers, perWorker = 16, 8
+	env := testEnv(t, 2, 1)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= perWorker; i++ {
+				if err := j.Put(Entry{ID: fmt.Sprintf("s%02d", w), Rev: uint64(i), Env: env}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent Put: %v", err)
+	}
+	st := j.Stats()
+	if st.Appends != workers*perWorker || st.CommitRecords != st.Appends {
+		t.Fatalf("Stats = %+v, want %d appends all carried by commits", st, workers*perWorker)
+	}
+	if st.Commits == 0 || st.Commits >= st.Appends {
+		t.Fatalf("Commits = %d for %d appends: group commit did not batch", st.Commits, st.Appends)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j2, err := OpenJournal(JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	got := loadMap(t, j2)
+	if len(got) != workers {
+		t.Fatalf("live set has %d entries, want %d", len(got), workers)
+	}
+	for w := 0; w < workers; w++ {
+		if got[fmt.Sprintf("s%02d", w)].Rev != perWorker {
+			t.Fatalf("stream s%02d = %+v, want rev %d", w, got[fmt.Sprintf("s%02d", w)], perWorker)
+		}
+	}
+}
+
+// TestJournalPutAsyncTickets: the asynchronous enqueue path. Tickets
+// resolve when the shared commit lands, Wait is idempotent, Close drains
+// every enqueued record before returning, and a closed journal resolves
+// tickets with ErrClosed.
+func TestJournalPutAsyncTickets(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(JournalConfig{Dir: dir, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	var tickets []*Ticket
+	for i := 1; i <= 5; i++ {
+		tickets = append(tickets, j.PutAsync(Entry{ID: "a", Rev: uint64(i), Env: testEnv(t, 2, i)}))
+	}
+	for i, tk := range tickets {
+		if err := tk.Wait(); err != nil {
+			t.Fatalf("ticket %d: %v", i, err)
+		}
+		if err := tk.Wait(); err != nil {
+			t.Fatalf("ticket %d second Wait: %v", i, err)
+		}
+	}
+	if got := loadMap(t, j); len(got) != 1 || got["a"].Rev != 5 {
+		t.Fatalf("live set = %v, want a@5", got)
+	}
+	// Records enqueued but not yet waited on are drained by Close.
+	drained := j.PutAsync(Entry{ID: "a", Rev: 6, Env: testEnv(t, 2, 0)})
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := drained.Wait(); err != nil {
+		t.Fatalf("ticket enqueued before Close: %v", err)
+	}
+	if err := j.PutAsync(Entry{ID: "a", Rev: 7, Env: testEnv(t, 2, 0)}).Wait(); err != ErrClosed {
+		t.Fatalf("PutAsync after Close = %v, want ErrClosed", err)
+	}
+	j2, err := OpenJournal(JournalConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer j2.Close()
+	if got := loadMap(t, j2); got["a"].Rev != 6 {
+		t.Fatalf("live set = %v, want the drained a@6", got)
 	}
 }
 
