@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fmt bench-smoke bench-durability ci
+.PHONY: build test race lint fmt bench-smoke bench-durability bench-serve ci
 
 build:
 	$(GO) build ./...
@@ -38,5 +38,12 @@ bench-smoke:
 # -fsync never) and crash-recovery time vs dirty-stream count.
 bench-durability:
 	$(GO) run ./cmd/durabilitybench -out BENCH_durability.json
+
+# bench-serve regenerates BENCH_serving.json, the tracked perf artifact
+# of the HTTP serving path: per-round and batched rounds/s with p50/p99
+# latency under both wire codecs (the acceptance bars are ≥500k rounds/s
+# on the binary batch path and ≥10× the JSON per-round number).
+bench-serve:
+	$(GO) run ./cmd/servebench -out BENCH_serving.json
 
 ci: fmt build test lint

@@ -1,0 +1,93 @@
+package binary
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodePriceBatch throws arbitrary bytes at the decoder — the
+// decode entry points are kind-dispatched off one frame header, so a
+// single fuzz target covers the whole decode surface (CI runs it with
+// -fuzztime; see the fuzz step in ci.yml). The invariants:
+//
+//   - no input may panic the decoder (truncated, oversized, or
+//     NaN-smuggling frames included);
+//   - every rejection wraps ErrFrame, which the server maps to the
+//     invalid_request envelope;
+//   - anything accepted must survive re-encode → re-decode unchanged
+//     (an accepted frame need not be byte-canonical — a multi-batch
+//     stream table may carry unused entries — but its meaning must be).
+func FuzzDecodePriceBatch(f *testing.F) {
+	// Seed with one valid frame per kind, plus mutations the unit tests
+	// care about, so the fuzzer starts at the interesting boundaries.
+	for _, msg := range sampleMessages() {
+		frame, err := Append(nil, msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		f.Add(frame[:len(frame)-1])
+		f.Add(append(append([]byte(nil), frame...), 0))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x44, 0x4D, 0x42, 0x31, 1, 2, 0, 0})
+
+	decoders := map[Kind]func(d *Decoder, data []byte) (any, error){
+		KindPriceRequest:      func(d *Decoder, b []byte) (any, error) { return d.PriceRequest(b) },
+		KindPriceBatchRequest: func(d *Decoder, b []byte) (any, error) { return d.PriceBatch(b) },
+		KindMultiBatchRequest: func(d *Decoder, b []byte) (any, error) { return d.MultiBatch(b) },
+		KindTradeBatchRequest: func(d *Decoder, b []byte) (any, error) { return d.TradeBatch(b) },
+		KindPriceResponse:     func(d *Decoder, b []byte) (any, error) { return d.PriceResponse(b) },
+		KindBatchResponse:     func(d *Decoder, b []byte) (any, error) { return d.BatchResponse(b) },
+		KindTradeBatchResponse: func(d *Decoder, b []byte) (any, error) {
+			return d.TradeBatchResponse(b)
+		},
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for kind, decode := range decoders {
+			var d Decoder
+			msg, err := decode(&d, data)
+			if err != nil {
+				if !errors.Is(err, ErrFrame) {
+					t.Fatalf("%s rejection does not wrap ErrFrame: %v", kind, err)
+				}
+				continue
+			}
+			re, err := Append(nil, msg)
+			if err != nil {
+				t.Fatalf("%s: accepted frame does not re-encode: %v", kind, err)
+			}
+			back, err := decode(new(Decoder), re)
+			if err != nil {
+				t.Fatalf("%s: re-encoded frame does not decode: %v", kind, err)
+			}
+			if !reflect.DeepEqual(back, msg) {
+				t.Fatalf("%s: meaning changed across re-encode\n  in: %x\n out: %x", kind, data, re)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsDecode keeps the seed corpus honest outside fuzz mode:
+// every sample frame decodes through every entry point without panics.
+func TestFuzzSeedsDecode(t *testing.T) {
+	var d Decoder
+	for kind, msg := range sampleMessages() {
+		frame, err := Append(nil, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for otherKind := range WireTypes {
+			dst := reflect.New(reflect.TypeOf(WireTypes[otherKind])).Interface()
+			err := d.DecodeInto(frame, dst)
+			if otherKind == kind && err != nil {
+				t.Errorf("%s frame failed its own decoder: %v", kind, err)
+			}
+			if otherKind != kind && err == nil {
+				t.Errorf("%s frame decoded as %s", kind, otherKind)
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package binary
+
+// Golden binary fixtures: the frame encoding of every wire type is
+// pinned under api/testdata/<APIVersion>/bin/, one .bin per kind, named
+// after the kind (which matches the JSON fixture name of the same type).
+// Each fixture is generated from the corresponding golden JSON fixture,
+// so the two codecs are pinned against the same message — replaying the
+// JSON goldens through the binary codec IS the cross-codec equivalence
+// check. A .bin mismatch means the binary encoding drifted; that is only
+// legal with a codec Version bump.
+//
+// To (re)generate after an intentional, version-bumped change:
+//
+//	go test ./api/binary/ -run TestBinaryGolden -update
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"datamarket/api"
+)
+
+var update = flag.Bool("update", false, "rewrite golden binary fixtures")
+
+// fixtureDirs locates the shared api/testdata fixtures from this
+// subpackage.
+func fixtureDirs() (jsonDir, binDir string) {
+	base := filepath.Join("..", "testdata", api.APIVersion)
+	return base, filepath.Join(base, "bin")
+}
+
+// loadJSONFixture decodes the golden JSON fixture for a kind into a
+// fresh instance of its wire type.
+func loadJSONFixture(t *testing.T, kind Kind) any {
+	t.Helper()
+	jsonDir, _ := fixtureDirs()
+	raw, err := os.ReadFile(filepath.Join(jsonDir, kind.String()+".json"))
+	if err != nil {
+		t.Fatalf("reading golden JSON fixture for %s: %v", kind, err)
+	}
+	dst := reflect.New(reflect.TypeOf(WireTypes[kind])).Interface()
+	if err := json.Unmarshal(raw, dst); err != nil {
+		t.Fatalf("decoding golden JSON fixture for %s: %v", kind, err)
+	}
+	return dst
+}
+
+// TestBinaryGolden pins the binary frame of every wire type, generated
+// from the golden JSON fixture of the same message.
+func TestBinaryGolden(t *testing.T) {
+	_, binDir := fixtureDirs()
+	if *update {
+		if err := os.MkdirAll(binDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for kind := range WireTypes {
+		t.Run(kind.String(), func(t *testing.T) {
+			msg := loadJSONFixture(t, kind)
+			got, err := Append(nil, msg)
+			if err != nil {
+				t.Fatalf("encoding %s: %v", kind, err)
+			}
+			path := filepath.Join(binDir, kind.String()+".bin")
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden binary fixture (new wire type?): %v\n"+
+					"run `go test ./api/binary/ -run TestBinaryGolden -update` and commit the fixture", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("binary encoding of %s drifted without a codec Version bump\n got: %x\nwant: %x",
+					kind, got, want)
+			}
+		})
+	}
+}
+
+// TestCrossCodecEquivalence replays every golden JSON fixture through
+// both codecs: the message must survive JSON → binary → decode → JSON
+// with an identical JSON rendering, so the two encodings carry exactly
+// the same meaning.
+func TestCrossCodecEquivalence(t *testing.T) {
+	for kind := range WireTypes {
+		t.Run(kind.String(), func(t *testing.T) {
+			msg := loadJSONFixture(t, kind)
+			wantJSON, err := json.Marshal(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frame, err := Append(nil, msg)
+			if err != nil {
+				t.Fatalf("encoding %s: %v", kind, err)
+			}
+			back := reflect.New(reflect.TypeOf(WireTypes[kind])).Interface()
+			if err := Decode(frame, back); err != nil {
+				t.Fatalf("decoding %s frame: %v", kind, err)
+			}
+			gotJSON, err := json.Marshal(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotJSON, wantJSON) {
+				t.Errorf("binary round trip of %s changed the message\n got: %s\nwant: %s",
+					kind, gotJSON, wantJSON)
+			}
+		})
+	}
+}
+
+// TestBinaryGoldenDecodes pins that every committed .bin fixture still
+// decodes — a fixture that encodes but cannot decode would strand every
+// client on that frame.
+func TestBinaryGoldenDecodes(t *testing.T) {
+	_, binDir := fixtureDirs()
+	for kind := range WireTypes {
+		t.Run(kind.String(), func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join(binDir, kind.String()+".bin"))
+			if err != nil {
+				t.Fatalf("reading golden binary fixture: %v", err)
+			}
+			dst := reflect.New(reflect.TypeOf(WireTypes[kind])).Interface()
+			if err := Decode(raw, dst); err != nil {
+				t.Fatalf("decoding golden binary fixture for %s: %v", kind, err)
+			}
+		})
+	}
+}

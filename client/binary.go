@@ -1,0 +1,56 @@
+package client
+
+import (
+	"context"
+	"sync"
+
+	"datamarket/api/binary"
+)
+
+// WithBinary switches the hot pricing calls — Price, PriceBatch,
+// PriceMulti (and therefore the Flusher), and TradeBatch — to the
+// compact binary wire codec (api/binary) once the server has advertised
+// support via the X-Binary-Protocol response header. Until that header
+// has been seen (the version probe's response carries it), and against
+// servers that predate the codec entirely, the calls keep speaking JSON;
+// enabling the option is always safe. Error responses stay the JSON
+// envelope either way, so error handling is unaffected.
+func WithBinary() Option { return func(c *Client) { c.useBinary = true } }
+
+// binaryActive reports whether hot calls should encode with the binary
+// codec: the option is on and the server has advertised support.
+func (c *Client) binaryActive() bool {
+	return c.useBinary && c.binarySeen.Load()
+}
+
+// framePool holds encode scratch for outgoing binary frames, so a
+// steady stream of hot calls reuses one grown buffer per goroutine
+// instead of allocating a frame per request.
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// doHot is do for the hot pricing endpoints: when the binary codec is
+// active it frames the request with api/binary and asks for a binary
+// response, falling back to JSON for the rare message the codec cannot
+// carry (ragged batches, oversized stream IDs — the server then applies
+// its per-round validation). in must be a pointer to a codec wire type.
+func (c *Client) doHot(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	if err := c.ensureCompatible(ctx); err != nil {
+		return err
+	}
+	if !c.binaryActive() {
+		return c.roundTrip(ctx, method, path, in, out, idempotent)
+	}
+	scratch := framePool.Get().(*[]byte)
+	frame, err := binary.Append((*scratch)[:0], in)
+	if err != nil {
+		framePool.Put(scratch)
+		return c.roundTrip(ctx, method, path, in, out, idempotent)
+	}
+	*scratch = frame
+	err = c.roundTripBytes(ctx, method, path, frame, binary.ContentType, out, idempotent)
+	framePool.Put(scratch)
+	return err
+}

@@ -31,9 +31,11 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"datamarket/api"
+	"datamarket/api/binary"
 )
 
 // Default retry/backoff configuration.
@@ -90,6 +92,13 @@ type Client struct {
 	backoffUp time.Duration
 	userAgent string
 	skipCheck bool
+
+	// useBinary is set by WithBinary; binarySeen latches once any
+	// response carried the X-Binary-Protocol capability header. Both
+	// must hold before a hot call switches off JSON, which is what makes
+	// the codec safe against servers that predate it.
+	useBinary  bool
+	binarySeen atomic.Bool
 
 	// verMu guards the one-time compatibility probe. A transient probe
 	// failure is not latched — the next call retries it; success and a
@@ -223,9 +232,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 	return c.roundTrip(ctx, method, path, in, out, idempotent)
 }
 
-// roundTrip sends one API request, retrying idempotent calls on
-// transport errors and 5xx responses with exponential backoff. The body
-// is marshalled once and replayed from memory on each attempt.
+// roundTrip marshals in as JSON and sends it via roundTripBytes.
 func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any, idempotent bool) error {
 	var body []byte
 	if in != nil {
@@ -234,9 +241,16 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
 	}
+	return c.roundTripBytes(ctx, method, path, body, contentTypeJSON, out, idempotent)
+}
+
+// roundTripBytes sends one pre-encoded API request, retrying idempotent
+// calls on transport errors and 5xx responses with exponential backoff.
+// The body is replayed from memory on each attempt.
+func (c *Client) roundTripBytes(ctx context.Context, method, path string, body []byte, contentType string, out any, idempotent bool) error {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		err := c.send(ctx, method, path, body, out)
+		err := c.send(ctx, method, path, body, contentType, out)
 		if err == nil {
 			return nil
 		}
@@ -279,8 +293,37 @@ func (c *Client) sleep(ctx context.Context, attempt int) error {
 	}
 }
 
-// send performs exactly one HTTP exchange.
-func (c *Client) send(ctx context.Context, method, path string, body []byte, out any) error {
+const contentTypeJSON = "application/json"
+
+// bufPool holds the response-read buffers shared by the success path,
+// the error path, and the version probe, so steady-state calls stop
+// paying an io.ReadAll allocation per exchange. Buffers that ballooned
+// (snapshot bodies) are dropped rather than pooled.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const bufPoolMax = 1 << 20
+
+func getBuf() *bytes.Buffer { return bufPool.Get().(*bytes.Buffer) }
+
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() <= bufPoolMax {
+		b.Reset()
+		bufPool.Put(b)
+	}
+}
+
+// isBinaryBody reports whether a response's Content-Type names the
+// binary codec.
+func isBinaryBody(resp *http.Response) bool {
+	ct, _, _ := strings.Cut(resp.Header.Get("Content-Type"), ";")
+	return strings.TrimSpace(ct) == binary.ContentType
+}
+
+// send performs exactly one HTTP exchange. A binary content type also
+// asks for a binary response via Accept; the response body is decoded by
+// its own Content-Type, so a JSON answer from a server that ignores
+// Accept still decodes fine.
+func (c *Client) send(ctx context.Context, method, path string, body []byte, contentType string, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -290,7 +333,10 @@ func (c *Client) send(ctx context.Context, method, path string, body []byte, out
 		return fmt.Errorf("client: building request: %w", err)
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
+	}
+	if contentType == binary.ContentType {
+		req.Header.Set("Accept", binary.ContentType)
 	}
 	req.Header.Set("User-Agent", c.userAgent)
 	resp, err := c.http.Do(req)
@@ -301,27 +347,44 @@ func (c *Client) send(ctx context.Context, method, path string, body []byte, out
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
+	if resp.Header.Get(binary.ProtoHeader) != "" {
+		c.binarySeen.Store(true)
+	}
 	if resp.StatusCode/100 != 2 {
 		return decodeError(resp)
 	}
 	if out == nil || resp.StatusCode == http.StatusNoContent {
 		return nil
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+	buf := getBuf()
+	defer putBuf(buf)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return fmt.Errorf("client: reading %s %s response: %w", method, path, err)
+	}
+	if isBinaryBody(resp) {
+		err = binary.Decode(buf.Bytes(), out)
+	} else {
+		err = json.Unmarshal(buf.Bytes(), out)
+	}
+	if err != nil {
 		return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
 	}
 	return nil
 }
 
 // decodeError turns a non-2xx response into an *APIError, surviving
-// bodies that are not the standard envelope.
+// bodies that are not the standard envelope. Error bodies are always the
+// JSON envelope regardless of codec negotiation, and are read through
+// the shared buffer pool rather than a per-call io.ReadAll.
 func decodeError(resp *http.Response) error {
 	ae := &APIError{Status: resp.StatusCode, Code: api.CodeInternal}
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
+	buf := getBuf()
+	defer putBuf(buf)
+	if _, err := buf.ReadFrom(io.LimitReader(resp.Body, 1<<20)); err != nil {
 		ae.Message = "unreadable error body: " + err.Error()
 		return ae
 	}
+	raw := buf.Bytes()
 	var envelope api.ErrorResponse
 	if err := json.Unmarshal(raw, &envelope); err == nil && envelope.Error.Code != "" {
 		ae.Code = envelope.Error.Code

@@ -51,8 +51,8 @@ func (c *Client) Trade(ctx context.Context, id string, trade api.TradeRequest) (
 // index-for-index with trades. (POST /v1/markets/{id}/trade/batch)
 func (c *Client) TradeBatch(ctx context.Context, id string, trades []api.TradeRequest) ([]api.TradeBatchResult, error) {
 	var resp api.TradeBatchResponse
-	err := c.do(ctx, http.MethodPost, "/v1/markets/"+escape(id)+"/trade/batch",
-		api.TradeBatchRequest{Trades: trades}, &resp, false)
+	err := c.doHot(ctx, http.MethodPost, "/v1/markets/"+escape(id)+"/trade/batch",
+		&api.TradeBatchRequest{Trades: trades}, &resp, false)
 	return resp.Results, err
 }
 

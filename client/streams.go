@@ -49,8 +49,8 @@ func (c *Client) DeleteStream(ctx context.Context, id string, force bool) error 
 // Flusher to amortize HTTP overhead across concurrent calls.
 func (c *Client) Price(ctx context.Context, id string, features []float64, reserve, valuation float64) (api.PriceResponse, error) {
 	var resp api.PriceResponse
-	err := c.do(ctx, http.MethodPost, "/v1/streams/"+escape(id)+"/price",
-		api.PriceRequest{Features: features, Reserve: reserve, Valuation: &valuation},
+	err := c.doHot(ctx, http.MethodPost, "/v1/streams/"+escape(id)+"/price",
+		&api.PriceRequest{Features: features, Reserve: reserve, Valuation: &valuation},
 		&resp, false)
 	return resp, err
 }
@@ -60,8 +60,8 @@ func (c *Client) Price(ctx context.Context, id string, features []float64, reser
 // (POST /v1/streams/{id}/price/batch)
 func (c *Client) PriceBatch(ctx context.Context, id string, rounds []api.BatchPriceRound) ([]api.BatchRoundResult, error) {
 	var resp api.BatchPriceResponse
-	err := c.do(ctx, http.MethodPost, "/v1/streams/"+escape(id)+"/price/batch",
-		api.BatchPriceRequest{Rounds: rounds}, &resp, false)
+	err := c.doHot(ctx, http.MethodPost, "/v1/streams/"+escape(id)+"/price/batch",
+		&api.BatchPriceRequest{Rounds: rounds}, &resp, false)
 	return resp.Results, err
 }
 
@@ -69,8 +69,8 @@ func (c *Client) PriceBatch(ctx context.Context, id string, rounds []api.BatchPr
 // Flusher is the usual caller. (POST /v1/price/batch)
 func (c *Client) PriceMulti(ctx context.Context, rounds []api.MultiBatchRound) ([]api.BatchRoundResult, error) {
 	var resp api.BatchPriceResponse
-	err := c.do(ctx, http.MethodPost, "/v1/price/batch",
-		api.MultiBatchPriceRequest{Rounds: rounds}, &resp, false)
+	err := c.doHot(ctx, http.MethodPost, "/v1/price/batch",
+		&api.MultiBatchPriceRequest{Rounds: rounds}, &resp, false)
 	return resp.Results, err
 }
 

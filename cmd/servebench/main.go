@@ -1,0 +1,308 @@
+// Command servebench measures end-to-end serving throughput of the
+// brokerd HTTP edge under both wire codecs and emits BENCH_serving.json,
+// the tracked perf artifact for the serving path (`make bench-serve`
+// regenerates it).
+//
+// Two experiments, each run once per codec (JSON and the api/binary
+// compact codec):
+//
+//   - per-round: workers drive single-round /price calls, the
+//     latency-bound number an unbatched client sees;
+//   - batch: workers drive /price/batch requests of -batch rounds
+//     against per-worker streams, the throughput-bound number a batching
+//     client (or the SDK Flusher) sees.
+//
+// The headline ratios are binary-batch rounds/s (the ≥500k/node target)
+// and binary-batch over JSON-per-round (the ≥10× target).
+//
+// Usage:
+//
+//	servebench -out BENCH_serving.json -duration 1s -batch 256 -dim 5
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"datamarket/api"
+	"datamarket/api/binary"
+	"datamarket/internal/randx"
+	"datamarket/internal/server"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_serving.json", "output JSON path")
+		duration = flag.Duration("duration", time.Second, "measured window per experiment")
+		workers  = flag.Int("workers", runtime.NumCPU(), "concurrent client workers")
+		batch    = flag.Int("batch", 256, "rounds per batch request")
+		dim      = flag.Int("dim", 5, "feature dimension")
+	)
+	flag.Parse()
+
+	if err := run(*out, *duration, *workers, *batch, *dim); err != nil {
+		fmt.Fprintln(os.Stderr, "servebench:", err)
+		os.Exit(1)
+	}
+}
+
+type servingResult struct {
+	Codec        string  `json:"codec"` // "json" | "binary"
+	Mode         string  `json:"mode"`  // "per_round" | "batch"
+	Batch        int     `json:"batch,omitempty"`
+	Workers      int     `json:"workers"`
+	Dim          int     `json:"dim"`
+	DurationSec  float64 `json:"duration_sec"`
+	Rounds       int64   `json:"rounds"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	// Request latency over the window (per HTTP exchange: one round in
+	// per_round mode, one whole batch in batch mode).
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+}
+
+type report struct {
+	Tool      string `json:"tool"`
+	GoVersion string `json:"go_version"`
+	CPUs      int    `json:"cpus"`
+	// BinaryBatchRoundsPerSec is the acceptance headline: served rounds/s
+	// on the binary batch path (target ≥ 500k/node).
+	BinaryBatchRoundsPerSec float64 `json:"binary_batch_rounds_per_sec"`
+	// BinaryBatchOverJSONPerRound is the second headline: the binary
+	// batch path as a multiple of the JSON per-round number (target ≥10×).
+	BinaryBatchOverJSONPerRound float64 `json:"binary_batch_over_json_per_round"`
+	// BinaryOverJSONPerRound compares the codecs at equal request shape.
+	BinaryOverJSONPerRound float64         `json:"binary_over_json_per_round"`
+	Results                []servingResult `json:"results"`
+}
+
+// codec abstracts one wire encoding for the bench loop.
+type codec struct {
+	name        string
+	contentType string
+	encode      func(scratch []byte, v any) ([]byte, error)
+	decode      func(dec *binary.Decoder, data []byte, v any) error
+}
+
+var codecs = []codec{
+	{
+		name:        "json",
+		contentType: "application/json",
+		encode: func(scratch []byte, v any) ([]byte, error) {
+			buf := bytes.NewBuffer(scratch[:0])
+			err := json.NewEncoder(buf).Encode(v)
+			return buf.Bytes(), err
+		},
+		decode: func(_ *binary.Decoder, data []byte, v any) error {
+			return json.Unmarshal(data, v)
+		},
+	},
+	{
+		name:        "binary",
+		contentType: binary.ContentType,
+		encode:      binary.Append,
+		decode: func(dec *binary.Decoder, data []byte, v any) error {
+			return dec.DecodeInto(data, v)
+		},
+	},
+}
+
+func run(out string, duration time.Duration, workers, batch, dim int) error {
+	rep := report{
+		Tool:      "cmd/servebench",
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+	}
+	byKey := map[string]float64{}
+	for _, mode := range []string{"per_round", "batch"} {
+		for _, cd := range codecs {
+			res, err := runExperiment(cd, mode, duration, workers, batch, dim)
+			if err != nil {
+				return fmt.Errorf("%s %s: %w", cd.name, mode, err)
+			}
+			rep.Results = append(rep.Results, res)
+			byKey[cd.name+"/"+mode] = res.RoundsPerSec
+			fmt.Printf("%-9s %-6s  %9.0f rounds/s  p50 %7.1fµs  p99 %7.1fµs\n",
+				mode, cd.name, res.RoundsPerSec, res.P50Micros, res.P99Micros)
+		}
+	}
+	rep.BinaryBatchRoundsPerSec = round3(byKey["binary/batch"])
+	if v := byKey["json/per_round"]; v > 0 {
+		rep.BinaryBatchOverJSONPerRound = round3(byKey["binary/batch"] / v)
+		rep.BinaryOverJSONPerRound = round3(byKey["binary/per_round"] / v)
+	}
+	fmt.Printf("binary batch: %.0f rounds/s (%.1fx the JSON per-round path)\n",
+		rep.BinaryBatchRoundsPerSec, rep.BinaryBatchOverJSONPerRound)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runExperiment stands up a fresh broker with one stream per worker and
+// drives it for the measured window.
+func runExperiment(cd codec, mode string, duration time.Duration, workers, batch, dim int) (servingResult, error) {
+	reg := server.NewRegistry(0)
+	ids := make([]string, workers)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("bench-%03d", i)
+		if _, err := reg.Create(server.CreateStreamRequest{
+			ID: ids[i], Dim: dim, Threshold: 0.05, Horizon: 100_000_000,
+		}); err != nil {
+			return servingResult{}, err
+		}
+	}
+	ts := httptest.NewServer(server.NewServer(reg).Handler())
+	defer ts.Close()
+	httpc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        workers * 2,
+		MaxIdleConnsPerHost: workers * 2,
+	}}
+
+	rounds := batch
+	path := "/price/batch"
+	if mode == "per_round" {
+		rounds = 1
+		path = "/price"
+	}
+	theta := randx.New(1).OnSphere(dim)
+
+	var (
+		total    atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []float64
+		firstErr atomic.Value
+	)
+	start := time.Now()
+	deadline := start.Add(duration)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := randx.NewStream(2, uint64(w))
+			url := ts.URL + "/v1/streams/" + ids[w] + path
+			var (
+				scratch []byte
+				dec     binary.Decoder
+				myLats  []float64
+				mine    int64
+			)
+			req := &api.BatchPriceRequest{Rounds: make([]api.BatchPriceRound, rounds)}
+			vals := make([]float64, rounds)
+			for time.Now().Before(deadline) {
+				for k := range req.Rounds {
+					x := r.OnSphere(dim)
+					vals[k] = x.Dot(theta)
+					req.Rounds[k] = api.BatchPriceRound{Features: x, Reserve: -1e9, Valuation: &vals[k]}
+				}
+				var in any = req
+				if mode == "per_round" {
+					in = &api.PriceRequest{
+						Features: req.Rounds[0].Features, Reserve: -1e9, Valuation: &vals[0],
+					}
+				}
+				body, err := cd.encode(scratch[:0], in)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				scratch = body
+				t0 := time.Now()
+				hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				hreq.Header.Set("Content-Type", cd.contentType)
+				hreq.Header.Set("Accept", cd.contentType)
+				resp, err := httpc.Do(hreq)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("status %d: %s", resp.StatusCode, raw))
+					return
+				}
+				if mode == "per_round" {
+					var pr api.PriceResponse
+					err = cd.decode(&dec, raw, &pr)
+				} else {
+					var br api.BatchPriceResponse
+					if err = cd.decode(&dec, raw, &br); err == nil && len(br.Results) != rounds {
+						err = fmt.Errorf("got %d results, want %d", len(br.Results), rounds)
+					}
+				}
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				myLats = append(myLats, float64(time.Since(t0))/float64(time.Microsecond))
+				mine += int64(rounds)
+			}
+			total.Add(mine)
+			mu.Lock()
+			lats = append(lats, myLats...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return servingResult{}, err
+	}
+	sort.Float64s(lats)
+	res := servingResult{
+		Codec:        cd.name,
+		Mode:         mode,
+		Workers:      workers,
+		Dim:          dim,
+		DurationSec:  round3(elapsed.Seconds()),
+		Rounds:       total.Load(),
+		RoundsPerSec: round3(float64(total.Load()) / elapsed.Seconds()),
+		P50Micros:    round3(percentile(lats, 0.50)),
+		P99Micros:    round3(percentile(lats, 0.99)),
+	}
+	if mode == "batch" {
+		res.Batch = batch
+	}
+	return res, nil
+}
+
+// percentile reads the p-quantile from sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}

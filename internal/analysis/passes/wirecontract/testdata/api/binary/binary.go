@@ -1,0 +1,23 @@
+// Package binary is the wirecontract fixture's codec registry: the
+// analyzer requires every type registered in WireTypes to carry a
+// golden binary fixture under the api package's testdata/v9/bin/.
+package binary
+
+import "datamarket/api"
+
+// Kind tags a frame's payload type.
+type Kind uint8
+
+// Frame kinds.
+const (
+	KindCreateThing Kind = 0x01
+	KindEnvelope    Kind = 0x02
+)
+
+// WireTypes enumerates the api types the fixture codec carries.
+// CreateThingRequest is pinned by testdata/v9/bin/create_thing_request.bin;
+// Envelope is registered without a fixture and must be flagged.
+var WireTypes = map[Kind]any{
+	KindCreateThing: api.CreateThingRequest{},
+	KindEnvelope:    api.Envelope{}, // want "binary-registered wire type Envelope has no golden binary fixture under testdata/v9/bin/"
+}

@@ -10,7 +10,10 @@
 //     map[string]interface{},
 //   - every exported wire type is pinned by a golden fixture under
 //     testdata/<APIVersion>/ — either its own snake_case file or
-//     containment in a fixtured type.
+//     containment in a fixtured type,
+//   - every type registered in the binary codec's WireTypes map is
+//     pinned by a golden binary fixture under testdata/<APIVersion>/bin/
+//     (a frame kind must not ship without its encoding frozen).
 package wirecontract
 
 import (
@@ -31,18 +34,30 @@ type Config struct {
 	// VersionConst names the string constant selecting the fixture
 	// directory under testdata/.
 	VersionConst string
+	// BinaryPkg is the binary-codec package whose registry var pins the
+	// binary fixture requirement. Skipped when the package is absent
+	// from the program.
+	BinaryPkg string
+	// RegistryVar names BinaryPkg's kind→type map enumerating the types
+	// the binary codec carries.
+	RegistryVar string
 }
 
 // DefaultConfig is the repo's real wiring.
 func DefaultConfig() Config {
-	return Config{APIPkg: "datamarket/api", VersionConst: "APIVersion"}
+	return Config{
+		APIPkg:       "datamarket/api",
+		VersionConst: "APIVersion",
+		BinaryPkg:    "datamarket/api/binary",
+		RegistryVar:  "WireTypes",
+	}
 }
 
 // NewAnalyzer builds the wirecontract analyzer with the given config.
 func NewAnalyzer(cfg Config) *analysis.Analyzer {
 	return &analysis.Analyzer{
 		Name:   "wirecontract",
-		Doc:    "checks api wire structs for complete json tags, no untyped interface fields, and golden-fixture coverage under testdata/<APIVersion>/",
+		Doc:    "checks api wire structs for complete json tags, no untyped interface fields, golden-fixture coverage under testdata/<APIVersion>/, and golden binary fixtures for every binary-registered wire type",
 		Anchor: cfg.APIPkg,
 		Run:    func(pass *analysis.Pass) error { return run(pass, cfg) },
 	}
@@ -57,7 +72,10 @@ func run(pass *analysis.Pass, cfg Config) error {
 		return nil
 	}
 	checkStructDecls(pass, pkg)
-	checkFixtureCoverage(pass, cfg, pkg)
+	version := checkFixtureCoverage(pass, cfg, pkg)
+	if version != "" {
+		checkBinaryFixtures(pass, cfg, pkg, version)
+	}
 	return nil
 }
 
@@ -184,13 +202,15 @@ func findUntyped(t types.Type, seen map[types.Type]bool) string {
 
 // --- fixture coverage ---
 
-func checkFixtureCoverage(pass *analysis.Pass, cfg Config, pkg *analysis.Package) {
+// checkFixtureCoverage enforces the JSON golden-fixture rule and
+// returns the resolved fixture version ("" when it cannot be resolved).
+func checkFixtureCoverage(pass *analysis.Pass, cfg Config, pkg *analysis.Package) string {
 	scope := pkg.Types.Scope()
 	verObj, ok := scope.Lookup(cfg.VersionConst).(*types.Const)
 	if !ok || verObj.Val().Kind() != constant.String {
 		pass.Reportf(pkg.Types.Scope().Pos(),
 			"wire package has no %s string constant; fixture coverage cannot be checked", cfg.VersionConst)
-		return
+		return ""
 	}
 	version := constant.StringVal(verObj.Val())
 	fixtureDir := pkg.Dir + "/testdata/" + version
@@ -198,7 +218,7 @@ func checkFixtureCoverage(pass *analysis.Pass, cfg Config, pkg *analysis.Package
 	if err != nil {
 		pass.Reportf(verObj.Pos(),
 			"golden fixture directory %s is missing: %v", "testdata/"+version, err)
-		return
+		return ""
 	}
 	fixtures := make([]string, 0, len(entries))
 	for _, e := range entries {
@@ -264,6 +284,81 @@ func checkFixtureCoverage(pass *analysis.Pass, cfg Config, pkg *analysis.Package
 			"wire type %s has no golden fixture under testdata/%s/ (expected %s.json or containment in a fixtured type); add one and run the wire tests with -update",
 			wt.obj.Name(), version, snakeCase(wt.obj.Name()))
 	}
+	return version
+}
+
+// --- binary fixture coverage ---
+
+// checkBinaryFixtures requires a golden binary fixture under the api
+// package's testdata/<version>/bin/ for every type registered in the
+// binary codec's kind→type map. The frame-kind string of each entry is
+// the snake_case of its api type name, so the expected file is
+// <snake>.bin — the same name the binary golden tests pin.
+func checkBinaryFixtures(pass *analysis.Pass, cfg Config, apiPkg *analysis.Package, version string) {
+	binPkg := pass.Prog.Lookup(cfg.BinaryPkg)
+	if binPkg == nil {
+		return // codec not loaded (or not built yet); nothing to enforce
+	}
+	lit := registryLiteral(binPkg, cfg.RegistryVar)
+	if lit == nil {
+		pass.Reportf(binPkg.Types.Scope().Pos(),
+			"binary codec package has no %s map literal; binary fixture coverage cannot be checked", cfg.RegistryVar)
+		return
+	}
+	binDir := apiPkg.Dir + "/testdata/" + version + "/bin"
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		tv, ok := binPkg.TypesInfo.Types[kv.Value]
+		if !ok {
+			continue
+		}
+		t := tv.Type
+		if p, ok := types.Unalias(t).(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := types.Unalias(t).(*types.Named)
+		if !ok {
+			continue
+		}
+		name := named.Obj().Name()
+		fixture := snakeCase(name) + ".bin"
+		if _, err := os.Stat(binDir + "/" + fixture); err != nil {
+			pass.Reportf(kv.Value.Pos(),
+				"binary-registered wire type %s has no golden binary fixture under testdata/%s/bin/ (expected %s); add one and run the binary golden tests with -update",
+				name, version, fixture)
+		}
+	}
+}
+
+// registryLiteral finds the composite literal initializing the named
+// package-level var.
+func registryLiteral(pkg *analysis.Package, name string) *ast.CompositeLit {
+	for _, f := range pkg.Syntax {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, ident := range vs.Names {
+					if ident.Name != name || i >= len(vs.Values) {
+						continue
+					}
+					if cl, ok := vs.Values[i].(*ast.CompositeLit); ok {
+						return cl
+					}
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // structComponents collects the struct types reachable from t through

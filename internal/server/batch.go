@@ -100,8 +100,10 @@ func (s *Server) handleBatchPrice(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	ws := getWire()
+	defer putWire(ws)
 	var req BatchPriceRequest
-	if !readJSON(w, r, &req) {
+	if !s.readHot(ws, w, r, &req) {
 		return
 	}
 	if !checkBatchSize(w, len(req.Rounds)) {
@@ -113,7 +115,7 @@ func (s *Server) handleBatchPrice(w http.ResponseWriter, r *http.Request) {
 		slots[i] = i
 	}
 	priceRounds(st, req.Rounds, slots, results)
-	writeJSON(w, http.StatusOK, BatchPriceResponse{Results: results})
+	ws.writeHot(w, r, http.StatusOK, &BatchPriceResponse{Results: results})
 }
 
 // handleMultiBatchPrice prices rounds across many streams in one
@@ -125,8 +127,10 @@ func (s *Server) handleBatchPrice(w http.ResponseWriter, r *http.Request) {
 // cost is that streams hashing to the same shard price sequentially —
 // acceptable, since a batch touching k streams spreads over 32 shards.
 func (s *Server) handleMultiBatchPrice(w http.ResponseWriter, r *http.Request) {
+	ws := getWire()
+	defer putWire(ws)
 	var req MultiBatchPriceRequest
-	if !readJSON(w, r, &req) {
+	if !s.readHot(ws, w, r, &req) {
 		return
 	}
 	if !checkBatchSize(w, len(req.Rounds)) {
@@ -175,7 +179,7 @@ func (s *Server) handleMultiBatchPrice(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, BatchPriceResponse{Results: results})
+	ws.writeHot(w, r, http.StatusOK, &BatchPriceResponse{Results: results})
 }
 
 // priceStreamGroup prices one stream's rounds of a multi-stream batch.

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
 
+	"datamarket/api/binary"
 	"datamarket/internal/pricing"
 	"datamarket/internal/randx"
 )
@@ -150,6 +152,155 @@ func BenchmarkServerHTTPPriceBatch(b *testing.B) {
 					var pr BatchPriceResponse
 					json.NewDecoder(resp.Body).Decode(&pr)
 					resp.Body.Close()
+					if len(pr.Results) != batch {
+						b.Errorf("got %d results, want %d", len(pr.Results), batch)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*float64(batch)/b.Elapsed().Seconds(), "rounds/s")
+		})
+	}
+}
+
+// benchBinaryPost sends one pre-encoded binary frame and decodes the
+// binary response into dst, reusing the caller's scratch buffer and
+// Decoder. Returns the (possibly grown) scratch and whether the exchange
+// succeeded; failures are reported via b.Error (Fatal is off-limits in
+// RunParallel workers).
+func benchBinaryPost(b *testing.B, client *http.Client, url string, frame, scratch []byte, dec *binary.Decoder, dst any) ([]byte, bool) {
+	b.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(frame))
+	if err != nil {
+		b.Error(err)
+		return scratch, false
+	}
+	req.Header.Set("Content-Type", binary.ContentType)
+	req.Header.Set("Accept", binary.ContentType)
+	resp, err := client.Do(req)
+	if err != nil {
+		b.Error(err)
+		return scratch, false
+	}
+	defer resp.Body.Close()
+	scratch = scratch[:0]
+	for {
+		if len(scratch) == cap(scratch) {
+			scratch = append(scratch, 0)[:len(scratch)]
+		}
+		n, err := resp.Body.Read(scratch[len(scratch):cap(scratch)])
+		scratch = scratch[:len(scratch)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			b.Error(err)
+			return scratch, false
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Errorf("status %d: %s", resp.StatusCode, scratch)
+		return scratch, false
+	}
+	if err := dec.DecodeInto(scratch, dst); err != nil {
+		b.Error(err)
+		return scratch, false
+	}
+	return scratch, true
+}
+
+// BenchmarkServerHTTPPriceBinary is BenchmarkServerHTTPPrice over the
+// binary codec: same workload, same rounds/s metric, so the two compare
+// directly.
+func BenchmarkServerHTTPPriceBinary(b *testing.B) {
+	const dim = 5
+	for _, streams := range []int{1, 16} {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			reg, ids := benchRegistry(b, streams, dim)
+			ts := httptest.NewServer(NewServer(reg).Handler())
+			defer ts.Close()
+			theta := randx.New(1).OnSphere(dim)
+			var worker atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := worker.Add(1)
+				r := randx.NewStream(2, w)
+				i := int(w)
+				var (
+					frame, scratch []byte
+					dec            binary.Decoder
+					pr             PriceResponse
+				)
+				for pb.Next() {
+					i++
+					x := r.OnSphere(dim)
+					v := x.Dot(theta)
+					var err error
+					frame, err = binary.Append(frame[:0], &PriceRequest{Features: x, Reserve: -1e9, Valuation: &v})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					var ok bool
+					scratch, ok = benchBinaryPost(b, http.DefaultClient,
+						ts.URL+"/v1/streams/"+ids[i%len(ids)]+"/price", frame, scratch, &dec, &pr)
+					if !ok {
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/s")
+		})
+	}
+}
+
+// BenchmarkServerHTTPPriceBatchBinary is BenchmarkServerHTTPPriceBatch
+// over the binary codec — the headline serving path. ns/op is per BATCH;
+// rounds/s is the comparable metric.
+func BenchmarkServerHTTPPriceBatchBinary(b *testing.B) {
+	const dim = 5
+	for _, batch := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			reg, ids := benchRegistry(b, 16, dim)
+			ts := httptest.NewServer(NewServer(reg).Handler())
+			defer ts.Close()
+			theta := randx.New(1).OnSphere(dim)
+			var worker atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := worker.Add(1)
+				r := randx.NewStream(2, w)
+				i := int(w)
+				rounds := make([]BatchPriceRound, batch)
+				vals := make([]float64, batch)
+				var (
+					frame, scratch []byte
+					dec            binary.Decoder
+					pr             BatchPriceResponse
+				)
+				for pb.Next() {
+					i++
+					for k := range rounds {
+						x := r.OnSphere(dim)
+						vals[k] = x.Dot(theta)
+						rounds[k] = BatchPriceRound{Features: x, Reserve: -1e9, Valuation: &vals[k]}
+					}
+					var err error
+					frame, err = binary.Append(frame[:0], &BatchPriceRequest{Rounds: rounds})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					var ok bool
+					scratch, ok = benchBinaryPost(b, http.DefaultClient,
+						ts.URL+"/v1/streams/"+ids[i%len(ids)]+"/price/batch", frame, scratch, &dec, &pr)
+					if !ok {
+						return
+					}
 					if len(pr.Results) != batch {
 						b.Errorf("got %d results, want %d", len(pr.Results), batch)
 						return

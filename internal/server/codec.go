@@ -1,0 +1,133 @@
+package server
+
+// Codec dispatch for the hot pricing endpoints. The binary codec
+// (api/binary) is negotiated per request on the existing mux: a body
+// with Content-Type application/x-datamarket-binary decodes through the
+// binary decoder, and an Accept header naming that type gets a binary
+// response body. JSON stays the default, and error responses are always
+// the JSON error envelope regardless of Accept, so clients' error paths
+// never depend on negotiation.
+//
+// Each hot request checks out a wireState from a sync.Pool: a reusable
+// body buffer, a reusable response-encode buffer, and a binary.Decoder
+// whose scratch the decoded request aliases. Steady state, a binary
+// batch request is served without per-request encode/decode allocations.
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"datamarket/api/binary"
+)
+
+// protoVersion is the codec version advertised in the
+// X-Binary-Protocol response header.
+var protoVersion = strconv.Itoa(int(binary.Version))
+
+// wireState is the per-request scratch of the hot endpoints: pooled so
+// the steady-state encode/decode path allocates nothing. Everything a
+// decoded request aliases lives here, so a wireState must not be
+// returned to the pool before the handler is done with the request AND
+// the response bytes have been written.
+type wireState struct {
+	body []byte         // request body read buffer
+	out  []byte         // binary response encode buffer
+	dec  binary.Decoder // request decode scratch
+}
+
+var wirePool = sync.Pool{New: func() any {
+	return &wireState{body: make([]byte, 0, 4096), out: make([]byte, 0, 4096)}
+}}
+
+func getWire() *wireState   { return wirePool.Get().(*wireState) }
+func putWire(ws *wireState) { wirePool.Put(ws) }
+
+// isBinaryContent reports whether a Content-Type header names the
+// binary codec (ignoring any media-type parameters).
+func isBinaryContent(ct string) bool {
+	if ct, _, ok := strings.Cut(ct, ";"); ok {
+		return strings.TrimSpace(ct) == binary.ContentType
+	}
+	return strings.TrimSpace(ct) == binary.ContentType
+}
+
+// wantsBinary reports whether the request's Accept header asks for a
+// binary response body.
+func wantsBinary(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), binary.ContentType)
+}
+
+// readBody reads the whole request body into the wireState's reusable
+// buffer, honoring maxBodyBytes.
+func (ws *wireState) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	rd := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	buf := ws.body[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := rd.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			ws.body = buf
+			return buf, nil
+		}
+		if err != nil {
+			ws.body = buf[:0]
+			return nil, err
+		}
+	}
+}
+
+// readHot decodes a hot-endpoint request body by its Content-Type:
+// binary frames through the wireState's pooled decoder (the decoded dst
+// aliases that scratch), everything else through the standard JSON path.
+// Malformed binary frames map to the same invalid_request envelope (400,
+// or 413 when oversized) as malformed JSON.
+func (s *Server) readHot(ws *wireState, w http.ResponseWriter, r *http.Request, dst any) bool {
+	if !isBinaryContent(r.Header.Get("Content-Type")) {
+		return readJSON(w, r, dst)
+	}
+	body, err := ws.readBody(w, r)
+	if err != nil {
+		status := http.StatusBadRequest
+		if _, ok := err.(*http.MaxBytesError); ok {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeStatusError(w, status, "reading body: "+err.Error())
+		return false
+	}
+	if err := ws.dec.DecodeInto(body, dst); err != nil {
+		writeStatusError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// writeHot writes a hot-endpoint success response, binary when the
+// request's Accept header asks for it (encoding into the wireState's
+// pooled buffer), JSON otherwise. v must be a pointer to one of the
+// codec's wire types. A binary encode failure falls back to JSON — the
+// response is still correct, just not in the preferred encoding — and is
+// logged like a JSON encode failure.
+func (ws *wireState) writeHot(w http.ResponseWriter, r *http.Request, status int, v any) {
+	if !wantsBinary(r) {
+		writeJSON(w, status, v)
+		return
+	}
+	out, err := binary.Append(ws.out[:0], v)
+	if err != nil {
+		logEncodeError(v, err)
+		writeJSON(w, status, v)
+		return
+	}
+	ws.out = out
+	w.Header().Set("Content-Type", binary.ContentType)
+	w.WriteHeader(status)
+	if _, err := w.Write(out); err != nil {
+		logEncodeError(v, err)
+	}
+}

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"sync/atomic"
 
 	"datamarket/api"
 	"datamarket/internal/linalg"
@@ -186,8 +188,10 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	ws := getWire()
+	defer putWire(ws)
 	var req PriceRequest
-	if !readJSON(w, r, &req) {
+	if !s.readHot(ws, w, r, &req) {
 		return
 	}
 	if req.Valuation == nil {
@@ -212,7 +216,7 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 	if q.Decision != pricing.DecisionSkip {
 		resp.Accepted = &accepted
 	}
-	writeJSON(w, http.StatusOK, resp)
+	ws.writeHot(w, r, http.StatusOK, &resp)
 }
 
 func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
@@ -366,10 +370,27 @@ func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
+// encodeLogf is where response-encode failures are reported. It defaults
+// to log.Printf and is replaced by WithRequestLog so encode failures land
+// in the same stream as the request log. Stored atomically because test
+// servers install loggers while earlier handlers may still be in flight.
+var encodeLogf atomic.Value
+
+func init() { encodeLogf.Store(log.Printf) }
+
+// logEncodeError reports a failed response encode — a truncated or
+// unencodable response the client will see as a broken body — so the
+// condition is observable instead of silent.
+func logEncodeError(v any, err error) {
+	encodeLogf.Load().(func(string, ...any))("encoding %T response: %v", v, err)
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		logEncodeError(v, err)
+	}
 }
 
 // errorStatus maps a domain error onto its HTTP status and stable wire

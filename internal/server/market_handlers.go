@@ -111,8 +111,10 @@ func (s *Server) handleTradeBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	ws := getWire()
+	defer putWire(ws)
 	var req TradeBatchRequest
-	if !readJSON(w, r, &req) {
+	if !s.readHot(ws, w, r, &req) {
 		return
 	}
 	if !checkBatchSize(w, len(req.Trades)) {
@@ -137,7 +139,7 @@ func (s *Server) handleTradeBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		results[idx[k]] = TradeBatchResult{TradeResult: tradeResult(o.Tx)}
 	}
-	writeJSON(w, http.StatusOK, TradeBatchResponse{Results: results})
+	ws.writeHot(w, r, http.StatusOK, &TradeBatchResponse{Results: results})
 }
 
 // handleLedger pages through the market's transaction ledger

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"datamarket/api"
+	"datamarket/api/binary"
 )
 
 // withAPIHeaders stamps every response with the server build and the
@@ -19,6 +20,9 @@ func withAPIHeaders(h http.Handler) http.Handler {
 		hd := w.Header()
 		hd.Set("Server", "brokerd/"+Version)
 		hd.Set("X-Api-Version", api.APIVersion)
+		// Advertise the binary codec so SDKs can switch the hot calls
+		// off JSON; the value is the highest codec version spoken.
+		hd.Set(binary.ProtoHeader, protoVersion)
 		h.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
 	})
 }
@@ -82,6 +86,9 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 // everything else) is observable in ops. brokerd enables it under
 // -verbose; logf is log.Printf-shaped.
 func WithRequestLog(h http.Handler, logf func(format string, args ...any)) http.Handler {
+	// Route response-encode failures to the same logger, so a truncated
+	// response is observable next to the request that produced it.
+	encodeLogf.Store(logf)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
