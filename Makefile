@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fmt bench-smoke bench-durability bench-serve ci
+.PHONY: build test race lint fmt bench-smoke bench-durability bench-serve bench-market ci
 
 build:
 	$(GO) build ./...
@@ -45,5 +45,13 @@ bench-durability:
 # on the binary batch path and ≥10× the JSON per-round number).
 bench-serve:
 	$(GO) run ./cmd/servebench -out BENCH_serving.json
+
+# bench-market regenerates BENCH_market.json, the tracked perf artifact
+# of the hosted-market trade loop: dense seed-pipeline baseline vs the
+# sparse batch-settled fast path, plus the served numbers at the HTTP
+# edge (the acceptance bar is batch_over_dense >= 10x on a 10k-owner
+# market with 64-support queries).
+bench-market:
+	$(GO) run ./cmd/servebench -scenario market -out BENCH_market.json
 
 ci: fmt build test lint

@@ -43,15 +43,37 @@ import (
 
 func main() {
 	var (
-		out      = flag.String("out", "BENCH_serving.json", "output JSON path")
+		scenario = flag.String("scenario", "serving", "benchmark scenario: serving | market")
+		out      = flag.String("out", "", "output JSON path (default BENCH_serving.json or BENCH_market.json)")
 		duration = flag.Duration("duration", time.Second, "measured window per experiment")
 		workers  = flag.Int("workers", runtime.NumCPU(), "concurrent client workers")
-		batch    = flag.Int("batch", 256, "rounds per batch request")
-		dim      = flag.Int("dim", 5, "feature dimension")
+		batch    = flag.Int("batch", 256, "rounds per batch request (trades per batch in the market scenario)")
+		dim      = flag.Int("dim", 5, "feature dimension (serving scenario)")
+		owners   = flag.Int("owners", 10000, "data owner population (market scenario)")
+		support  = flag.Int("support", 64, "nonzero weights per query (market scenario)")
 	)
 	flag.Parse()
 
-	if err := run(*out, *duration, *workers, *batch, *dim); err != nil {
+	var err error
+	switch *scenario {
+	case "serving":
+		if *out == "" {
+			*out = "BENCH_serving.json"
+		}
+		err = run(*out, *duration, *workers, *batch, *dim)
+	case "market":
+		if *out == "" {
+			*out = "BENCH_market.json"
+		}
+		b := *batch
+		if b > 64 {
+			b = 64 // 10k-owner dense-weight trades: keep a batch frame a few MB
+		}
+		err = runMarket(*out, *duration, *workers, b, *owners, *support)
+	default:
+		err = fmt.Errorf("unknown scenario %q (want serving or market)", *scenario)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "servebench:", err)
 		os.Exit(1)
 	}

@@ -47,6 +47,53 @@ func NewFromBounds(bounds []float64) (*Mechanism, error) {
 	return &Mechanism{bounds: bounds}, nil
 }
 
+// Sparse query constructors: the fast-path market pipeline takes
+// (indices, weights) support pairs, and the weights slice carries the
+// same wire-ingestion contract as a dense vector.
+
+// Query is a sparse-support construct.
+type Query struct {
+	indices []int
+	weights []float64
+}
+
+// NewSparseUnchecked validates the index structure but never looks at
+// the weight values — NaN weights sail through.
+func NewSparseUnchecked(n int, indices []int, weights []float64) (*Query, error) { // want "exported constructor NewSparseUnchecked takes float parameter \"weights\""
+	if len(indices) != len(weights) {
+		return nil, errors.New("support length mismatch")
+	}
+	for _, i := range indices {
+		if i < 0 || i >= n {
+			return nil, errors.New("index out of range")
+		}
+	}
+	return &Query{indices: indices, weights: weights}, nil
+}
+
+// NewSparseChecked rejects non-finite weights entry by entry alongside
+// the structural checks.
+func NewSparseChecked(n int, indices []int, weights []float64) (*Query, error) {
+	if len(indices) != len(weights) {
+		return nil, errors.New("support length mismatch")
+	}
+	for k, i := range indices {
+		if i < 0 || i >= n {
+			return nil, errors.New("index out of range")
+		}
+		if math.IsNaN(weights[k]) || math.IsInf(weights[k], 0) {
+			return nil, errors.New("weights must be finite")
+		}
+	}
+	return &Query{indices: indices, weights: weights}, nil
+}
+
+// NewSharedQuery forwards its weights into the checked sparse
+// constructor, which validates them in its own right.
+func NewSharedQuery(n int, indices []int, weights []float64) (*Query, error) {
+	return NewSparseChecked(n, indices, weights)
+}
+
 // Scale is exported and takes a float, but only constructors carry the
 // wire-ingestion contract, so it is not flagged.
 func Scale(m *Mechanism, factor float64) {

@@ -21,6 +21,14 @@
 //     under the shard write lock.
 //  4. Mutexes must not be copied: parameters, receivers, and results
 //     that carry a sync.Mutex/RWMutex by value are flagged.
+//  5. No per-item lock churn in loops: a loop body whose direct
+//     statements Lock and then Unlock the same mutex pays a mutex
+//     handoff every iteration — under contention the handoffs dominate
+//     the work. The sanctioned shape is the market broker's batch
+//     settle: acquire once, settle every item, release once. The check
+//     is deliberately syntactic (the pair must be direct statements of
+//     the loop body), so helpers that acquire internally — e.g. the
+//     batch fallback path calling Trade per query — are not flagged.
 //
 // Unlike the other passes, this one resolves interface-method callees:
 // the serving layer talks to the store through the Store interface, so
@@ -32,6 +40,7 @@ package lockdiscipline
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 	"strings"
@@ -67,7 +76,7 @@ type Config struct {
 // DefaultConfig is the repo's real wiring.
 func DefaultConfig() Config {
 	return Config{
-		Pkgs:          []string{"datamarket/internal/server"},
+		Pkgs:          []string{"datamarket/internal/server", "datamarket/internal/market"},
 		BlockingPkgs:  []string{"net/http", "net", "os", "datamarket/internal/store"},
 		BlockingFuncs: []string{"time.Sleep"},
 		ExemptCallees: []string{
@@ -87,7 +96,7 @@ func DefaultConfig() Config {
 func NewAnalyzer(cfg Config) *analysis.Analyzer {
 	return &analysis.Analyzer{
 		Name:   "lockdiscipline",
-		Doc:    "checks registry locking rules: no blocking I/O under a shard lock, no registry re-entry or lock acquisition in Visit/observer callbacks, no mutex copies",
+		Doc:    "checks registry locking rules: no blocking I/O under a shard lock, no registry re-entry or lock acquisition in Visit/observer callbacks, no mutex copies, no per-iteration lock churn in loops",
 		Anchor: cfg.Anchor,
 		Run:    func(pass *analysis.Pass) error { return run(pass, cfg) },
 	}
@@ -112,6 +121,7 @@ func run(pass *analysis.Pass, cfg Config) error {
 				checkVisitCallbacks(pass, cfg, pkg, fd)
 				checkObserver(pass, cfg, pkg, fd)
 				checkMutexCopies(pass, pkg, fd)
+				checkLockChurn(pass, pkg, fd)
 			}
 		}
 	}
@@ -337,6 +347,85 @@ func checkMutexCopies(pass *analysis.Pass, pkg *analysis.Package, fd *ast.FuncDe
 	check(fd.Recv, "receiver")
 	check(fd.Type.Params, "parameter")
 	check(fd.Type.Results, "result")
+}
+
+// --- rule 5: per-iteration lock churn in loops ---
+
+// checkLockChurn flags loop bodies whose direct statements Lock and
+// later Unlock the same mutex: every iteration pays an acquire/release
+// handoff, which under contention dominates short critical sections.
+// The fix is the batch-settle shape — hoist the Lock above the loop
+// (the one-lock-spanning-many-settles form rule 1 walks without
+// complaint, as long as nothing inside blocks). Only direct statements
+// count: a helper that locks internally (the batch fallback calling
+// Trade per query) makes its own locking decision and is not this
+// loop's churn.
+func checkLockChurn(pass *analysis.Pass, pkg *analysis.Package, fd *ast.FuncDecl) {
+	info := pkg.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			body = s.Body
+		case *ast.RangeStmt:
+			body = s.Body
+		default:
+			return true
+		}
+		// Identifiers bound per iteration: a mutex reached through one of
+		// these (or through an index expression) is a different mutex each
+		// time around — the sharded-registry idiom — not churn on one lock.
+		loopLocal := make(map[string]bool)
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			collectDefines(s.Init, loopLocal)
+		case *ast.RangeStmt:
+			if id, ok := s.Key.(*ast.Ident); ok {
+				loopLocal[id.Name] = true
+			}
+			if id, ok := s.Value.(*ast.Ident); ok {
+				loopLocal[id.Name] = true
+			}
+		}
+		locked := make(map[string]token.Pos) // mutex → its Lock stmt in this body
+		reported := make(map[string]bool)
+		for _, stmt := range body.List {
+			collectDefines(stmt, loopLocal)
+			lock, unlock, name := lockOp(info, stmt)
+			if root, _, _ := strings.Cut(name, "."); loopLocal[root] || strings.Contains(name, "[...]") {
+				continue
+			}
+			switch {
+			case lock:
+				if _, ok := locked[name]; !ok {
+					locked[name] = stmt.Pos()
+				}
+			case unlock:
+				pos, ok := locked[name]
+				if ok && !reported[name] {
+					reported[name] = true
+					pass.Reportf(pos,
+						"per-iteration Lock/Unlock of %s inside a loop pays a mutex handoff every item; hoist the acquisition to span the loop (the batch-settle shape) or batch the work",
+						name)
+				}
+				delete(locked, name)
+			}
+		}
+		return true
+	})
+}
+
+// collectDefines records identifiers bound by a `:=` statement.
+func collectDefines(stmt ast.Stmt, into map[string]bool) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || as.Tok != token.DEFINE {
+		return
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			into[id.Name] = true
+		}
+	}
 }
 
 // --- shared helpers ---

@@ -1,0 +1,101 @@
+// Fixture for rule 5 (per-iteration lock churn in loops) over the
+// market package's batch-settle shapes: one lock spanning many settles
+// is the sanctioned form; locking and unlocking per item inside the
+// loop is flagged.
+package market
+
+import "sync"
+
+// Broker mimics the market broker's books: a mutex over a ledger.
+type Broker struct {
+	mu     sync.Mutex
+	ledger []int
+}
+
+func (b *Broker) settleLocked(item int) {
+	b.ledger = append(b.ledger, item)
+}
+
+// goodBatchSettle is the sanctioned batch-settle shape: ONE mutex
+// acquisition spans every settle in the batch.
+func (b *Broker) goodBatchSettle(items []int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, it := range items {
+		b.settleLocked(it)
+	}
+}
+
+// badPerItemSettle pays a mutex handoff per item.
+func (b *Broker) badPerItemSettle(items []int) {
+	for _, it := range items {
+		b.mu.Lock() // want "per-iteration Lock/Unlock of b.mu inside a loop"
+		b.settleLocked(it)
+		b.mu.Unlock()
+	}
+}
+
+// badForLoopChurn is the same churn in a plain for loop.
+func (b *Broker) badForLoopChurn(n int) {
+	for i := 0; i < n; i++ {
+		b.mu.Lock() // want "per-iteration Lock/Unlock of b.mu inside a loop"
+		b.settleLocked(i)
+		b.mu.Unlock()
+	}
+}
+
+// goodFallbackLoop calls a helper that locks internally: the helper owns
+// its locking decision, so the loop is not flagged.
+func (b *Broker) goodFallbackLoop(items []int) {
+	for _, it := range items {
+		b.settleOne(it)
+	}
+}
+
+func (b *Broker) settleOne(item int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.settleLocked(item)
+}
+
+// Sharded mimics a sharded registry: each iteration locks a DIFFERENT
+// mutex, so there is no single lock being churned — not flagged.
+type Sharded struct {
+	shards []struct {
+		mu      sync.RWMutex
+		entries map[string]int
+	}
+}
+
+func (s *Sharded) goodShardSweepIndexed() int {
+	var n int
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += len(s.shards[i].entries)
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+func (s *Sharded) goodShardSweepLocal() int {
+	var n int
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// goodUnlockOnly releases a lock acquired before the loop on the way
+// out of the first iteration of a retry loop — no per-iteration pair,
+// not flagged.
+func (b *Broker) goodUnlockOnly(items []int) {
+	b.mu.Lock()
+	for range items {
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+}

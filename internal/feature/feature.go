@@ -57,6 +57,57 @@ func PartitionAggregate(values linalg.Vector, n int) (linalg.Vector, error) {
 	return out, nil
 }
 
+// PartitionAggregateSorted is the sparse fast path of
+// PartitionAggregate: it aggregates an implicitly dense vector given as
+// its nonzero values (already sorted ascending) plus a count of
+// implicit zero entries, writing the len(dst) partition sums into dst.
+// The dense sort would place the zero block between the negative and
+// the non-negative values; partition sums accumulate in that same
+// ascending order while skipping the zeros, and adding a zero to a
+// running sum is an exact identity for the non-negative compensation
+// vectors this pipeline aggregates — so the result is bit-identical to
+// PartitionAggregate over the materialized dense vector, at O(nonzero)
+// instead of O(total) per call.
+func PartitionAggregateSorted(dst linalg.Vector, sorted linalg.Vector, zeros int) error {
+	n := len(dst)
+	if n <= 0 {
+		return fmt.Errorf("feature: partition count must be positive, got %d", n)
+	}
+	if zeros < 0 {
+		return fmt.Errorf("feature: negative implicit zero count %d", zeros)
+	}
+	total := len(sorted) + zeros
+	if total == 0 {
+		return fmt.Errorf("feature: no values to aggregate")
+	}
+	if n > total {
+		return fmt.Errorf("feature: %d partitions for %d values", n, total)
+	}
+	// Dense ascending order: sorted[:neg], then the zero block, then
+	// sorted[neg:].
+	neg := sort.SearchFloat64s(sorted, 0)
+	base := total / n
+	extra := total % n
+	start := 0 // dense index where the current partition begins
+	for p := 0; p < n; p++ {
+		size := base
+		if p < extra {
+			size++
+		}
+		end := start + size
+		var s float64
+		for d, hi := start, min(end, neg); d < hi; d++ {
+			s += sorted[d]
+		}
+		for d := max(start, neg+zeros); d < end; d++ {
+			s += sorted[d-zeros]
+		}
+		dst[p] = s
+		start = end
+	}
+	return nil
+}
+
 // L2Normalized returns v scaled to unit Euclidean norm along with the
 // original norm. A zero vector is returned unchanged with norm 0.
 func L2Normalized(v linalg.Vector) (linalg.Vector, float64) {

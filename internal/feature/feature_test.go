@@ -2,6 +2,7 @@ package feature
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -307,5 +308,65 @@ func TestTopKAndNonzeroAndProject(t *testing.T) {
 	}
 	if _, err := Project(v, []int{9}); err == nil {
 		t.Fatal("expected range error")
+	}
+}
+
+// TestPartitionAggregateSortedMatchesDense pins the sparse aggregation
+// bit-for-bit against PartitionAggregate over the materialized dense
+// vector, across random mixes of negatives, zeros, and positives.
+func TestPartitionAggregateSortedMatchesDense(t *testing.T) {
+	r := randx.New(31)
+	for trial := 0; trial < 300; trial++ {
+		nonzero := r.Intn(30)
+		zeros := r.Intn(50)
+		total := nonzero + zeros
+		if total == 0 {
+			total, zeros = 1, 1
+		}
+		vals := make(linalg.Vector, 0, nonzero)
+		for i := 0; i < nonzero; i++ {
+			v := r.Normal(0, 3)
+			if v == 0 {
+				v = 1
+			}
+			vals = append(vals, v)
+		}
+		sorted := vals.Clone()
+		sort.Float64s(sorted)
+		dense := make(linalg.Vector, 0, total)
+		dense = append(dense, vals...)
+		for i := 0; i < zeros; i++ {
+			dense = append(dense, 0)
+		}
+		n := 1 + r.Intn(total)
+		want, err := PartitionAggregate(dense, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(linalg.Vector, n)
+		if err := PartitionAggregateSorted(got, sorted, zeros); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (nonzero=%d zeros=%d n=%d) partition %d: sparse %v != dense %v",
+					trial, nonzero, zeros, n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPartitionAggregateSortedErrors(t *testing.T) {
+	if err := PartitionAggregateSorted(nil, linalg.VectorOf(1), 0); err == nil {
+		t.Fatal("expected partition count error")
+	}
+	if err := PartitionAggregateSorted(make(linalg.Vector, 1), linalg.VectorOf(1), -1); err == nil {
+		t.Fatal("expected negative zeros error")
+	}
+	if err := PartitionAggregateSorted(make(linalg.Vector, 1), nil, 0); err == nil {
+		t.Fatal("expected empty error")
+	}
+	if err := PartitionAggregateSorted(make(linalg.Vector, 3), linalg.VectorOf(1), 1); err == nil {
+		t.Fatal("expected too-many-partitions error")
 	}
 }

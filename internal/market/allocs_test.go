@@ -1,0 +1,111 @@
+//go:build !race
+
+package market
+
+// Steady-state allocation guards for the fast path. These use
+// testing.AllocsPerRun, whose counts are perturbed by the race
+// detector's instrumentation, so the file is excluded from -race runs
+// (the equivalence suite still covers the same code paths there).
+
+import (
+	"testing"
+
+	"datamarket/internal/linalg"
+	"datamarket/internal/pricing"
+	"datamarket/internal/privacy"
+	"datamarket/internal/randx"
+)
+
+// TestPrepareIntoZeroAllocs pins the core promise of the pooled fast
+// path: after warmup, PrepareInto allocates nothing.
+func TestPrepareIntoZeroAllocs(t *testing.T) {
+	const owners = 1000
+	pop := testOwners(t, owners, 51)
+	b, err := NewBroker(Config{
+		Owners: pop, Mechanism: testMechanism(t, 8, 100), FeatureDim: 8,
+		QuoteCacheSize: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randx.New(52)
+	weights := make(linalg.Vector, owners)
+	for _, i := range r.Perm(owners)[:64] {
+		weights[i] = r.Normal(0, 1)
+	}
+	q, err := privacy.NewLinearQuery(weights, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := new(QuoteContext)
+	if err := b.PrepareInto(ctx, q); err != nil { // warmup sizes the scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := b.PrepareInto(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("PrepareInto allocates %v times per run in steady state, want 0", allocs)
+	}
+}
+
+// TestSettleBatchZeroAllocs pins the settle side: with the ledger
+// preallocated and curve records off, settling a priced batch touches
+// the books without allocating.
+func TestSettleBatchZeroAllocs(t *testing.T) {
+	const (
+		owners = 500
+		batch  = 16
+		runs   = 100
+	)
+	pop := testOwners(t, owners, 61)
+	b, err := NewBroker(Config{
+		Owners: pop, Mechanism: pricing.NewSync(testMechanism(t, 6, 100000)),
+		FeatureDim: 6, QuoteCacheSize: -1,
+		LedgerPrealloc: (runs + 2) * batch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randx.New(62)
+	queries := make([]Query, batch)
+	ctxs := make([]*QuoteContext, batch)
+	idx := make([]int, batch)
+	priced := make([]pricing.BatchOutcome, batch)
+	out := make([]TradeOutcome, batch)
+	for i := range queries {
+		weights := make(linalg.Vector, owners)
+		for _, j := range r.Perm(owners)[:32] {
+			weights[j] = r.Normal(0, 1)
+		}
+		q, err := privacy.NewLinearQuery(weights, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[i] = Query{Q: q, Valuation: 5}
+		ctx := new(QuoteContext)
+		if err := b.PrepareInto(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+		ctxs[i] = ctx
+		idx[i] = i
+		priced[i] = pricing.BatchOutcome{
+			Quote:    pricing.Quote{Price: ctx.Reserve, Decision: pricing.DecisionExploratory},
+			Accepted: true,
+		}
+	}
+	b.settleBatch(queries, ctxs, idx, priced, out) // warmup
+	for _, o := range out {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+	}
+	allocs := testing.AllocsPerRun(runs, func() {
+		b.settleBatch(queries, ctxs, idx, priced, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("settleBatch allocates %v times per run in steady state, want 0", allocs)
+	}
+}

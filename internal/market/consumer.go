@@ -68,6 +68,11 @@ func NewConsumerModel(cfg ConsumerConfig) (*ConsumerModel, error) {
 		cm.ranges[i] = o.Range
 		cm.contracts[i] = o.Contract
 	}
+	// Leakages no longer validates ranges per call (the check is hoisted
+	// to construction time); this constructor is the construction time.
+	if err := privacy.ValidateRanges(cm.ranges); err != nil {
+		return nil, fmt.Errorf("market: %w", err)
+	}
 	return cm, nil
 }
 

@@ -1,0 +1,297 @@
+package market
+
+// Equivalence suite for the sparse/pooled/cached fast path: every result
+// the optimized pipeline produces must be bit-identical to the dense seed
+// pipeline (privacy.Leakages → privacy.Compensations →
+// feature.CompensationFeatures), not merely close.
+
+import (
+	"sync"
+	"testing"
+
+	"datamarket/internal/feature"
+	"datamarket/internal/linalg"
+	"datamarket/internal/pricing"
+	"datamarket/internal/privacy"
+	"datamarket/internal/randx"
+)
+
+// densePrepare is the seed pipeline, kept verbatim as the reference:
+// dense leakages over every owner, dense compensations, clone-and-sort
+// partition aggregation.
+func densePrepare(t *testing.T, b *Broker, q *privacy.LinearQuery) (leak, comps, x linalg.Vector, scale, reserve float64) {
+	t.Helper()
+	leak, err := q.Leakages(b.ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, err = privacy.Compensations(leak, b.contracts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, scale, reserve, err = feature.CompensationFeatures(comps, b.featureDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return leak, comps, x, scale, reserve
+}
+
+// sparseTestQuery draws a query whose support is a random subset of the
+// owners (sometimes all, sometimes a handful, sometimes empty weights on
+// explicit indices).
+func sparseTestQuery(t *testing.T, r *randx.RNG, owners int) *privacy.LinearQuery {
+	t.Helper()
+	weights := make(linalg.Vector, owners)
+	supportFrac := r.Float64()
+	for i := range weights {
+		if r.Float64() < supportFrac {
+			weights[i] = r.Normal(0, 2)
+		}
+	}
+	variance := []float64{0.01, 0.1, 1, 10, 100}[r.Intn(5)]
+	q, err := privacy.NewLinearQuery(weights, variance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestPrepareMatchesDenseSeedPipeline pins PrepareInto bit-for-bit
+// against the dense reference: identical features, scale, and reserve,
+// and support-aligned leakages/compensations that densify to the dense
+// vectors exactly.
+func TestPrepareMatchesDenseSeedPipeline(t *testing.T) {
+	const owners = 200
+	pop := testOwners(t, owners, 11)
+	lc, err := privacy.NewLinearContract(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pop {
+		if i%3 == 0 {
+			pop[i].Contract = lc
+		}
+		if i%7 == 0 {
+			pop[i].Range = 0 // zero-sensitivity owners leak nothing
+		}
+	}
+	b, err := NewBroker(Config{Owners: pop, Mechanism: testMechanism(t, 6, 100), FeatureDim: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randx.New(12)
+	ctx := new(QuoteContext) // reused across trials to exercise scratch reuse
+	for trial := 0; trial < 100; trial++ {
+		q := sparseTestQuery(t, r, owners)
+		leak, comps, x, scale, reserve := densePrepare(t, b, q)
+		if err := b.PrepareInto(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+		if ctx.Scale != scale || ctx.Reserve != reserve {
+			t.Fatalf("trial %d: scale/reserve (%v, %v) != dense (%v, %v)",
+				trial, ctx.Scale, ctx.Reserve, scale, reserve)
+		}
+		for i := range x {
+			if ctx.Features[i] != x[i] {
+				t.Fatalf("trial %d feature %d: %v != dense %v", trial, i, ctx.Features[i], x[i])
+			}
+		}
+		// Densify the support-aligned leakages/compensations and compare.
+		k := 0
+		for i := 0; i < owners; i++ {
+			var sl, sc float64
+			if k < len(ctx.Support) && ctx.Support[k] == i {
+				sl, sc = ctx.Leakages[k], ctx.Compensations[k]
+				k++
+			}
+			if sl != leak[i] || sc != comps[i] {
+				t.Fatalf("trial %d owner %d: sparse (%v, %v) != dense (%v, %v)",
+					trial, i, sl, sc, leak[i], comps[i])
+			}
+		}
+	}
+}
+
+// TestQuoteCacheEquivalence checks that a cache hit serves the very same
+// context a fresh prepare would, that trades through a cached broker and
+// a cache-disabled twin produce identical ledgers, and that the LRU
+// honors its capacity.
+func TestQuoteCacheEquivalence(t *testing.T) {
+	const (
+		owners = 60
+		T      = 200
+	)
+	pop := testOwners(t, owners, 21)
+	mkBroker := func(cacheSize int) *Broker {
+		b, err := NewBroker(Config{
+			Owners: pop, Mechanism: pricing.NewSync(testMechanism(t, 4, T)),
+			FeatureDim: 4, Seed: 9, KeepRecords: true, QuoteCacheSize: cacheSize,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cached := mkBroker(16)
+	uncached := mkBroker(-1)
+	if uncached.cache != nil {
+		t.Fatal("negative QuoteCacheSize must disable the cache")
+	}
+
+	// A repeated query must come back as the same shared context.
+	r := randx.New(22)
+	q := sparseTestQuery(t, r, owners)
+	c1, pooled1, err := cached.quoteFor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, pooled2, err := cached.quoteFor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled1 || pooled2 {
+		t.Fatal("cacheable contexts must not come from the pool")
+	}
+	if c1 != c2 {
+		t.Fatal("second quoteFor for an identical query missed the cache")
+	}
+
+	// Same query stream (with heavy repetition, so the cache actually
+	// serves hits) through both brokers: ledgers must match exactly.
+	distinct := make([]*privacy.LinearQuery, 8)
+	for i := range distinct {
+		distinct[i] = sparseTestQuery(t, r, owners)
+	}
+	for round := 0; round < T; round++ {
+		query := Query{Q: distinct[r.Intn(len(distinct))], Valuation: r.Uniform(0, 8)}
+		tx1, err1 := cached.Trade(query)
+		tx2, err2 := uncached.Trade(query)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("round %d: cached err %v, uncached err %v", round, err1, err2)
+		}
+		if tx1 != tx2 {
+			t.Fatalf("round %d: cached tx %+v != uncached tx %+v", round, tx1, tx2)
+		}
+	}
+	l1, l2 := cached.Ledger(), uncached.Ledger()
+	if len(l1) != len(l2) {
+		t.Fatalf("ledger lengths %d != %d", len(l1), len(l2))
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("ledger[%d]: %+v != %+v", i, l1[i], l2[i])
+		}
+	}
+	p1, p2 := cached.Payouts(), uncached.Payouts()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("payout[%d]: %v != %v", i, p1[i], p2[i])
+		}
+	}
+
+	// LRU bound: flooding with distinct queries never exceeds capacity.
+	for i := 0; i < 100; i++ {
+		qq := sparseTestQuery(t, r, owners)
+		if _, _, err := cached.quoteFor(qq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := cached.cache.len(); n > 16 {
+		t.Fatalf("cache holds %d entries, cap 16", n)
+	}
+}
+
+// TestLedgerReturnsDefensiveCopy pins the Ledger() footgun fix: mutating
+// the returned slice must not corrupt the broker's books.
+func TestLedgerReturnsDefensiveCopy(t *testing.T) {
+	pop := testOwners(t, 10, 31)
+	b, err := NewBroker(Config{
+		Owners: pop, Mechanism: pricing.NewSync(testMechanism(t, 3, 50)),
+		FeatureDim: 3, KeepRecords: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randx.New(32)
+	for i := 0; i < 5; i++ {
+		if _, err := b.Trade(Query{Q: sparseTestQuery(t, r, 10), Valuation: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := b.Ledger()
+	want := got[2]
+	got[2] = Transaction{Round: -1}
+	if again := b.Ledger(); again[2] != want {
+		t.Fatalf("mutating Ledger() result corrupted the books: %+v", again[2])
+	}
+}
+
+// TestConcurrentBatchesKeepBooksConsistent hammers TradeBatchOutcomes
+// from several goroutines (run under -race) and checks the invariants
+// that survive nondeterministic interleaving: every round lands in the
+// ledger exactly once with a unique round number, totals reconcile, and
+// the reserve constraint holds.
+func TestConcurrentBatchesKeepBooksConsistent(t *testing.T) {
+	const (
+		owners  = 80
+		batches = 6
+		perB    = 40
+	)
+	pop := testOwners(t, owners, 41)
+	b, err := NewBroker(Config{
+		Owners: pop, Mechanism: pricing.NewSync(testMechanism(t, 4, batches*perB)),
+		FeatureDim: 4, Seed: 3, KeepRecords: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < batches; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := randx.NewStream(42, uint64(g))
+			queries := make([]Query, perB)
+			for i := range queries {
+				queries[i] = Query{Q: sparseTestQuery(t, r, owners), Valuation: r.Uniform(0, 10)}
+			}
+			for _, o := range b.TradeBatchOutcomes(queries) {
+				if o.Err != nil {
+					t.Error(o.Err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	ledger := b.Ledger()
+	if len(ledger) != batches*perB {
+		t.Fatalf("ledger has %d rounds, want %d", len(ledger), batches*perB)
+	}
+	seen := make(map[int]bool, len(ledger))
+	var revenue, comp float64
+	for _, tx := range ledger {
+		if seen[tx.Round] {
+			t.Fatalf("duplicate round %d", tx.Round)
+		}
+		seen[tx.Round] = true
+		if tx.Sold {
+			revenue += tx.Revenue
+			comp += tx.Compensation
+			if tx.Profit < -1e-9 {
+				t.Fatalf("reserve constraint violated: %+v", tx)
+			}
+		}
+	}
+	st := b.Stats()
+	if st.Revenue != revenue || st.Compensation != comp {
+		t.Fatalf("totals (%v, %v) disagree with ledger (%v, %v)",
+			st.Revenue, st.Compensation, revenue, comp)
+	}
+	var paid float64
+	for _, p := range b.Payouts() {
+		paid += p
+	}
+	if diff := paid - comp; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("owner payouts %v != total compensation %v", paid, comp)
+	}
+}

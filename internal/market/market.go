@@ -9,6 +9,8 @@ package market
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
 	"sync"
 
 	"datamarket/internal/feature"
@@ -75,6 +77,13 @@ type Broker struct {
 	mech       pricing.Poster
 	featureDim int
 
+	// ctxPool recycles QuoteContext scratch between trades; cache
+	// holds finished contexts keyed by query fingerprint. Both serve
+	// Prepare, which reads only the immutable config above, so they
+	// need no coordination with the books mutex below.
+	ctxPool sync.Pool
+	cache   *quoteCache
+
 	mu      sync.Mutex // guards rng, ledger, tracker, ownerPayout, totals
 	rng     *randx.RNG
 	ledger  []Transaction
@@ -104,7 +113,22 @@ type Config struct {
 	Seed uint64
 	// KeepRecords retains the full ledger (needed for curves).
 	KeepRecords bool
+	// QuoteCacheSize bounds the fingerprint-keyed LRU of prepared
+	// QuoteContexts: repeated queries (same weights and variance — the
+	// common consumer pattern) skip the prepare pipeline entirely.
+	// 0 means DefaultQuoteCacheSize; negative disables the cache.
+	// Cached results are bit-identical to freshly prepared ones.
+	QuoteCacheSize int
+	// LedgerPrealloc pre-sizes the ledger's backing array, so settles
+	// below that many rounds append without growing — the last
+	// allocation on the steady-state settle path. 0 keeps the default
+	// growth behavior.
+	LedgerPrealloc int
 }
+
+// DefaultQuoteCacheSize is the quote-cache capacity when Config leaves
+// QuoteCacheSize zero.
+const DefaultQuoteCacheSize = 256
 
 // NewBroker validates the configuration and builds the broker.
 func NewBroker(cfg Config) (*Broker, error) {
@@ -130,15 +154,28 @@ func NewBroker(cfg Config) (*Broker, error) {
 		ownerPayout: make(linalg.Vector, len(cfg.Owners)),
 	}
 	for i, o := range cfg.Owners {
-		if o.Range < 0 {
-			return nil, fmt.Errorf("market: owner %d has negative range", i)
-		}
 		if o.Contract == nil {
 			return nil, fmt.Errorf("market: owner %d has no contract", i)
 		}
 		b.values[i] = o.Value
 		b.ranges[i] = o.Range
 		b.contracts[i] = o.Contract
+	}
+	// Validate all ranges once here so the per-trade leakage loop
+	// doesn't have to (privacy.Leakages documents this hoist).
+	if err := privacy.ValidateRanges(b.ranges); err != nil {
+		return nil, fmt.Errorf("market: %w", err)
+	}
+	if cfg.LedgerPrealloc > 0 {
+		b.ledger = make([]Transaction, 0, cfg.LedgerPrealloc)
+	}
+	b.ctxPool.New = func() any { return new(QuoteContext) }
+	cacheSize := cfg.QuoteCacheSize
+	if cacheSize == 0 {
+		cacheSize = DefaultQuoteCacheSize
+	}
+	if cacheSize > 0 {
+		b.cache = newQuoteCache(cacheSize)
 	}
 	return b, nil
 }
@@ -150,44 +187,111 @@ func (b *Broker) Owners() int { return len(b.owners) }
 func (b *Broker) FeatureDim() int { return b.featureDim }
 
 // QuoteContext is the broker-side derivation for one query, exposed so
-// experiments can reuse the exact pipeline without trading.
+// experiments can reuse the exact pipeline without trading. It is
+// support-sparse: Leakages and Compensations carry one entry per owner
+// in Support, not one per owner in the market — owners outside the
+// query's support leak nothing and are owed nothing by construction,
+// so a 64-owner query over a 65536-owner market derives 64 entries.
 type QuoteContext struct {
+	// Support is the ascending owner indices with nonzero query weight.
+	Support []int
+	// Leakages and Compensations align with Support entry for entry:
+	// Leakages[k] and Compensations[k] belong to owner Support[k].
 	Leakages      linalg.Vector
 	Compensations linalg.Vector
-	Reserve       float64
-	Features      linalg.Vector
-	Scale         float64
+	// Reserve is the total compensation in normalized feature units.
+	Reserve float64
+	// Features is the L2-normalized partition aggregation (§V-A).
+	Features linalg.Vector
+	// Scale is the L2 normalization constant.
+	Scale float64
+
+	sorted linalg.Vector // sort scratch, reused across PrepareInto calls
 }
 
 // Prepare runs the §II-B pipeline for a query: leakage quantification,
 // compensations, reserve price, and the normalized partition-aggregated
-// feature vector.
+// feature vector. The results are bit-identical to the dense
+// per-owner pipeline (Leakages → Compensations → CompensationFeatures)
+// restricted to the query's support.
 func (b *Broker) Prepare(q *privacy.LinearQuery) (*QuoteContext, error) {
-	leak, err := q.Leakages(b.ranges)
-	if err != nil {
-		return nil, fmt.Errorf("market: leakage quantification: %w", err)
+	ctx := new(QuoteContext)
+	if err := b.PrepareInto(ctx, q); err != nil {
+		return nil, err
 	}
-	comps, err := privacy.Compensations(leak, b.contracts)
-	if err != nil {
-		return nil, fmt.Errorf("market: compensations: %w", err)
+	return ctx, nil
+}
+
+// resizeVec returns v with length n, reusing its backing array when
+// the capacity allows.
+func resizeVec(v linalg.Vector, n int) linalg.Vector {
+	if cap(v) < n {
+		return make(linalg.Vector, n)
 	}
-	x, scale, _, err := feature.CompensationFeatures(comps, b.featureDim)
+	return v[:n]
+}
+
+// PrepareInto is Prepare into caller-owned scratch: dst's slices are
+// resized in place and reused, so the steady state allocates nothing.
+// dst must not be used by another goroutine while the call runs, and
+// earlier results read from dst are overwritten.
+func (b *Broker) PrepareInto(dst *QuoteContext, q *privacy.LinearQuery) error {
+	sup := q.Support()
+	leak, err := q.SupportLeakages(dst.Leakages, b.ranges)
 	if err != nil {
-		return nil, fmt.Errorf("market: feature aggregation: %w", err)
+		return fmt.Errorf("market: leakage quantification: %w", err)
+	}
+	dst.Leakages = leak
+	comps, err := privacy.SupportCompensations(dst.Compensations, sup, leak, b.contracts)
+	if err != nil {
+		return fmt.Errorf("market: compensations: %w", err)
+	}
+	dst.Compensations = comps
+	dst.Support = append(dst.Support[:0], sup...)
+	dst.sorted = append(dst.sorted[:0], comps...)
+	sort.Float64s(dst.sorted)
+	dst.Features = resizeVec(dst.Features, b.featureDim)
+	if err := feature.PartitionAggregateSorted(dst.Features, dst.sorted, len(b.ranges)-len(sup)); err != nil {
+		return fmt.Errorf("market: feature aggregation: %w", err)
 	}
 	// The reserve is the actual total compensation (what the broker must
 	// pay out), matching the non-negative-utility constraint of §II-A.
 	// Note the paper's §V-A normalization prices everything in units of
 	// the feature scale; we keep the reserve in those same units so the
 	// reserve constraint q_t = Σᵢ x_{t,i} of the experiments holds.
-	reserve := x.Sum()
-	return &QuoteContext{
-		Leakages:      leak,
-		Compensations: comps,
-		Reserve:       reserve,
-		Features:      x,
-		Scale:         scale,
-	}, nil
+	dst.Scale = dst.Features.Normalize()
+	dst.Reserve = dst.Features.Sum()
+	return nil
+}
+
+// quoteFor produces the QuoteContext for a query: from the LRU cache
+// when an identical query (same weights and variance) was prepared
+// before, from pooled scratch otherwise. pooled reports whether the
+// caller must return ctx to b.ctxPool once the trade settles; cached
+// contexts are shared, immutable, and never released.
+func (b *Broker) quoteFor(q *privacy.LinearQuery) (ctx *QuoteContext, pooled bool, err error) {
+	sup := q.Support()
+	if b.cache != nil && len(sup) <= maxCachedSupport {
+		ctx, key, ok := b.cache.lookup(q, sup)
+		if ok {
+			return ctx, false, nil
+		}
+		// Miss: prepare into a fresh context the cache can own. The
+		// pool is bypassed on purpose — a pooled context would be
+		// recycled while cached readers still hold it.
+		ctx = new(QuoteContext)
+		if err := b.PrepareInto(ctx, q); err != nil {
+			return nil, false, err
+		}
+		b.cache.insert(key, q, sup, ctx)
+		return ctx, false, nil
+	}
+	c := b.ctxPool.Get().(*QuoteContext)
+	if err := b.PrepareInto(c, q); err != nil {
+		b.ctxPool.Put(c)
+		return nil, false, err
+	}
+	return c, true, nil
 }
 
 // Trade executes one full round: prepare, post a price, observe the
@@ -199,14 +303,23 @@ func (b *Broker) Prepare(q *privacy.LinearQuery) (*QuoteContext, error) {
 // interleave inside a round; otherwise the split calls are used and the
 // caller must serialize trades herself.
 func (b *Broker) Trade(query Query) (Transaction, error) {
-	ctx, err := b.Prepare(query.Q)
+	ctx, pooled, err := b.quoteFor(query.Q)
 	if err != nil {
 		return Transaction{}, err
 	}
+	tx, err := b.tradePrepared(query, ctx)
+	if pooled {
+		b.ctxPool.Put(ctx)
+	}
+	return tx, err
+}
 
+// tradePrepared prices and settles one already-prepared query.
+func (b *Broker) tradePrepared(query Query, ctx *QuoteContext) (Transaction, error) {
 	var (
 		quote pricing.Quote
 		sold  bool
+		err   error
 	)
 	if rp, ok := b.mech.(pricing.RoundPoster); ok {
 		quote, sold, err = rp.PriceRound(ctx.Features, ctx.Reserve, func(q pricing.Quote) bool {
@@ -269,6 +382,13 @@ type TradeOutcome struct {
 // TradeBatchOutcomes executes len(queries) full rounds and reports them
 // index-for-index — the form serving layers need to answer each request
 // slot of a wire batch. TradeBatch is this with the failures joined.
+//
+// On a batch-capable mechanism the batch runs in three phases: queries
+// prepare in parallel across a bounded worker pool (Prepare reads only
+// immutable broker config), all prepared rounds price under one pricing
+// lock acquisition (PriceBatch), and all priced rounds settle under one
+// books lock acquisition (settleBatch) — two lock handoffs per batch
+// instead of two per trade.
 func (b *Broker) TradeBatchOutcomes(queries []Query) []TradeOutcome {
 	out := make([]TradeOutcome, len(queries))
 	bp, ok := b.mech.(pricing.BatchRoundPoster)
@@ -279,43 +399,103 @@ func (b *Broker) TradeBatchOutcomes(queries []Query) []TradeOutcome {
 		return out
 	}
 
-	ctxs := make([]*QuoteContext, 0, len(queries))
+	ctxs := make([]*QuoteContext, len(queries))
+	pooled := make([]bool, len(queries))
+	b.prepareAll(queries, ctxs, pooled, out)
 	rounds := make([]pricing.BatchRound, 0, len(queries))
 	idx := make([]int, 0, len(queries)) // query index of each prepared round
-	for i := range queries {
-		ctx, err := b.Prepare(queries[i].Q)
-		if err != nil {
-			out[i].Err = fmt.Errorf("preparing query: %w", err)
+	for i, ctx := range ctxs {
+		if ctx == nil {
 			continue
 		}
-		ctxs = append(ctxs, ctx)
 		rounds = append(rounds, pricing.BatchRound{X: ctx.Features, Reserve: ctx.Reserve})
 		idx = append(idx, i)
 	}
 	priced := bp.PriceBatch(rounds, func(k int, q pricing.Quote) bool {
 		return pricing.Sold(q.Price, queries[idx[k]].Valuation)
 	})
+	b.settleBatch(queries, ctxs, idx, priced, out)
+	for i, ctx := range ctxs {
+		if pooled[i] {
+			b.ctxPool.Put(ctx)
+		}
+	}
+	return out
+}
+
+// minPrepareChunk is the fewest queries worth handing one prepare
+// worker: below GOMAXPROCS×this, goroutine startup costs more than the
+// parallelism buys on support-sparse prepares.
+const minPrepareChunk = 8
+
+// prepareAll runs quoteFor for every query, filling ctxs/pooled (or
+// out[i].Err) index-aligned. Large batches fan out across a bounded
+// worker pool: Prepare reads only the broker's immutable config, so the
+// only shared state is the cache's own mutex and the context pool.
+func (b *Broker) prepareAll(queries []Query, ctxs []*QuoteContext, pooled []bool, out []TradeOutcome) {
+	prep := func(i int) {
+		ctx, p, err := b.quoteFor(queries[i].Q)
+		if err != nil {
+			out[i].Err = fmt.Errorf("preparing query: %w", err)
+			return
+		}
+		ctxs[i], pooled[i] = ctx, p
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if most := len(queries) / minPrepareChunk; workers > most {
+		workers = most
+	}
+	if workers <= 1 {
+		for i := range queries {
+			prep(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(queries); i += workers {
+				prep(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// settleBatch settles every priced round under ONE books-lock
+// acquisition — the sanctioned batch-settle shape: per-item locking
+// inside the loop would pay a mutex handoff per trade, which under
+// concurrency dominates the support-sparse settle itself.
+func (b *Broker) settleBatch(queries []Query, ctxs []*QuoteContext, idx []int, priced []pricing.BatchOutcome, out []TradeOutcome) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	for k, o := range priced {
 		i := idx[k]
 		if o.Err != nil {
 			out[i].Err = fmt.Errorf("pricing query: %w", o.Err)
 			continue
 		}
-		tx, err := b.settle(queries[i], ctxs[k], o.Quote, o.Accepted)
+		tx, err := b.settleLocked(queries[i], ctxs[i], o.Quote, o.Accepted)
 		if err != nil {
 			out[i].Err = fmt.Errorf("settling query: %w", err)
 			continue
 		}
 		out[i].Tx = tx
 	}
-	return out
 }
 
 // settle updates the broker's books for one priced round under the lock.
 func (b *Broker) settle(query Query, ctx *QuoteContext, quote pricing.Quote, sold bool) (Transaction, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.settleLocked(query, ctx, quote, sold)
+}
 
+// settleLocked is settle's body; the caller holds b.mu (settle for one
+// round, settleBatch for a whole batch under a single acquisition).
+func (b *Broker) settleLocked(query Query, ctx *QuoteContext, quote pricing.Quote, sold bool) (Transaction, error) {
 	tx := Transaction{
 		Round:       len(b.ledger) + 1,
 		Reserve:     ctx.Reserve,
@@ -342,12 +522,14 @@ func (b *Broker) settle(query Query, ctx *QuoteContext, quote pricing.Quote, sol
 		tx.Revenue = tx.Posted
 		tx.Compensation = ctx.Reserve
 		tx.Profit = tx.Revenue - tx.Compensation
-		// Pay owners proportionally to their compensations (all of them,
-		// in compensation units rescaled to feature units).
+		// Pay owners proportionally to their compensations, in
+		// compensation units rescaled to feature units. Only supported
+		// owners can be owed anything (π(0) = 0), so the update is
+		// support-sparse: O(support), not O(owners).
 		total := ctx.Compensations.Sum()
 		if total > 0 {
-			for i, c := range ctx.Compensations {
-				b.ownerPayout[i] += ctx.Reserve * c / total
+			for k, c := range ctx.Compensations {
+				b.ownerPayout[ctx.Support[k]] += ctx.Reserve * c / total
 			}
 		}
 		b.sold++
@@ -361,12 +543,13 @@ func (b *Broker) settle(query Query, ctx *QuoteContext, quote pricing.Quote, sol
 	return tx, nil
 }
 
-// Ledger returns the recorded transactions (shared slice; do not mutate,
-// and do not call while trades are in flight).
+// Ledger returns a copy of the recorded transactions in trade order.
+// The returned slice is the caller's own, so — unlike the shared slice
+// this used to hand out — it is safe to read while trades are in flight
+// and safe to mutate.
 func (b *Broker) Ledger() []Transaction {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.ledger
+	txs, _ := b.LedgerSlice(0, 0)
+	return txs
 }
 
 // LedgerSlice copies out ledger entries [offset, offset+limit) in trade

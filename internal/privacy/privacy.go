@@ -30,12 +30,82 @@ type LinearQuery struct {
 	// NoiseVariance is the variance of the Laplace noise added to the true
 	// answer; larger variance means cheaper, more private answers.
 	NoiseVariance float64
+
+	// support caches the ascending indices of nonzero weights. Real
+	// consumer queries weight a small subset of owners, and every
+	// owner outside the support has exactly zero leakage and zero
+	// compensation (ε = |0|·Δ/b = 0, π(0) = 0), so the broker pipeline
+	// only ever needs these indices. Constructors always populate it;
+	// a query built as a struct literal gets it recomputed per call.
+	support []int
 }
 
-// NewLinearQuery validates and builds a query.
-func NewLinearQuery(weights linalg.Vector, noiseVariance float64) (*LinearQuery, error) {
+// validateQuery is the shared constructor validation: non-empty finite
+// weights and a positive, finite noise variance.
+func validateQuery(weights linalg.Vector, noiseVariance float64) error {
 	if len(weights) == 0 {
-		return nil, fmt.Errorf("privacy: query needs at least one weight")
+		return fmt.Errorf("privacy: query needs at least one weight")
+	}
+	if !weights.IsFinite() {
+		return fmt.Errorf("privacy: query weights must be finite")
+	}
+	if noiseVariance <= 0 || math.IsInf(noiseVariance, 0) || math.IsNaN(noiseVariance) {
+		return fmt.Errorf("privacy: noise variance must be positive and finite, got %g", noiseVariance)
+	}
+	return nil
+}
+
+// supportOf collects the ascending indices of nonzero weights. The
+// result is never nil, so constructors can distinguish "computed empty"
+// from "not computed".
+func supportOf(weights linalg.Vector) []int {
+	nz := 0
+	for _, w := range weights {
+		if w != 0 {
+			nz++
+		}
+	}
+	support := make([]int, 0, nz)
+	for i, w := range weights {
+		if w != 0 {
+			support = append(support, i)
+		}
+	}
+	return support
+}
+
+// NewLinearQuery validates and builds a query. The weights are cloned,
+// so the caller keeps ownership of its slice.
+func NewLinearQuery(weights linalg.Vector, noiseVariance float64) (*LinearQuery, error) {
+	if err := validateQuery(weights, noiseVariance); err != nil {
+		return nil, err
+	}
+	w := weights.Clone()
+	return &LinearQuery{Weights: w, NoiseVariance: noiseVariance, support: supportOf(w)}, nil
+}
+
+// NewLinearQueryShared is NewLinearQuery without the defensive copy:
+// the query aliases the caller's weights, which must not be mutated for
+// the query's lifetime. It exists for serving hot paths where the
+// weights buffer is request-scoped and the per-query clone would be the
+// largest allocation in the trade loop.
+func NewLinearQueryShared(weights linalg.Vector, noiseVariance float64) (*LinearQuery, error) {
+	if err := validateQuery(weights, noiseVariance); err != nil {
+		return nil, err
+	}
+	return &LinearQuery{Weights: weights, NoiseVariance: noiseVariance, support: supportOf(weights)}, nil
+}
+
+// NewSparseLinearQuery builds a query over n owners from its support
+// alone: indices must be strictly increasing in [0, n), weights finite
+// and aligned with indices. Explicit zero weights are allowed (they
+// simply drop out of the support).
+func NewSparseLinearQuery(n int, indices []int, weights linalg.Vector, noiseVariance float64) (*LinearQuery, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("privacy: query needs at least one owner, got %d", n)
+	}
+	if len(indices) != len(weights) {
+		return nil, fmt.Errorf("privacy: %d support indices for %d weights", len(indices), len(weights))
 	}
 	if !weights.IsFinite() {
 		return nil, fmt.Errorf("privacy: query weights must be finite")
@@ -43,7 +113,28 @@ func NewLinearQuery(weights linalg.Vector, noiseVariance float64) (*LinearQuery,
 	if noiseVariance <= 0 || math.IsInf(noiseVariance, 0) || math.IsNaN(noiseVariance) {
 		return nil, fmt.Errorf("privacy: noise variance must be positive and finite, got %g", noiseVariance)
 	}
-	return &LinearQuery{Weights: weights.Clone(), NoiseVariance: noiseVariance}, nil
+	dense := make(linalg.Vector, n)
+	prev := -1
+	for k, i := range indices {
+		if i <= prev || i >= n {
+			return nil, fmt.Errorf("privacy: support indices must be strictly increasing in [0, %d), got %d at position %d", n, i, k)
+		}
+		prev = i
+		dense[i] = weights[k]
+	}
+	return &LinearQuery{Weights: dense, NoiseVariance: noiseVariance, support: supportOf(dense)}, nil
+}
+
+// Support returns the ascending indices of the query's nonzero weights.
+// Queries built through a constructor return the cached support; a
+// struct-literal query gets a fresh scan (and allocation) per call —
+// deliberately not cached here, so concurrent readers of a shared query
+// never race on the lazy write.
+func (q *LinearQuery) Support() []int {
+	if q.support != nil {
+		return q.support
+	}
+	return supportOf(q.Weights)
 }
 
 // NoiseScale returns the Laplace scale b = √(variance/2).
@@ -67,11 +158,28 @@ func (q *LinearQuery) Answer(data linalg.Vector, rng *randx.RNG) (float64, error
 	return t + rng.Laplace(0, q.NoiseScale()), nil
 }
 
+// ValidateRanges rejects negative or non-finite sensitivity ranges.
+// This validation used to run inside Leakages' per-owner hot loop on
+// every trade; it is hoisted here so range-owning constructors
+// (market.NewBroker, market.NewConsumerModel) pay it exactly once and
+// the leakage functions trust their input.
+func ValidateRanges(ranges linalg.Vector) error {
+	for i, r := range ranges {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("privacy: owner %d has invalid data range %g (must be finite and non-negative)", i, r)
+		}
+	}
+	return nil
+}
+
 // Leakages quantifies each owner's differential privacy leakage under the
 // query: εᵢ = |wᵢ|·Δᵢ/b, where Δᵢ bounds the range of owner i's value and
 // b is the Laplace noise scale. This is the standard per-owner sensitivity
 // analysis of the Laplace mechanism: changing owner i's value by at most
 // Δᵢ shifts the true answer by at most |wᵢ|·Δᵢ.
+//
+// ranges must be non-negative and finite — validate once at
+// construction with ValidateRanges; this hot loop trusts its input.
 func (q *LinearQuery) Leakages(ranges linalg.Vector) (linalg.Vector, error) {
 	if len(ranges) != len(q.Weights) {
 		return nil, fmt.Errorf("privacy: %d ranges for %d owners", len(ranges), len(q.Weights))
@@ -79,12 +187,27 @@ func (q *LinearQuery) Leakages(ranges linalg.Vector) (linalg.Vector, error) {
 	b := q.NoiseScale()
 	eps := make(linalg.Vector, len(q.Weights))
 	for i, w := range q.Weights {
-		if ranges[i] < 0 {
-			return nil, fmt.Errorf("privacy: negative data range for owner %d", i)
-		}
 		eps[i] = math.Abs(w) * ranges[i] / b
 	}
 	return eps, nil
+}
+
+// SupportLeakages is Leakages restricted to the query's support,
+// appending into dst[:0] (pass nil for a fresh slice; reusing dst makes
+// the steady state allocation-free). Entry k of the result is the
+// leakage of owner Support()[k]; every other owner leaks exactly zero.
+// The values are bit-identical to the corresponding dense Leakages
+// entries. ranges must be non-negative and finite (ValidateRanges).
+func (q *LinearQuery) SupportLeakages(dst linalg.Vector, ranges linalg.Vector) (linalg.Vector, error) {
+	if len(ranges) != len(q.Weights) {
+		return nil, fmt.Errorf("privacy: %d ranges for %d owners", len(ranges), len(q.Weights))
+	}
+	b := q.NoiseScale()
+	dst = dst[:0]
+	for _, i := range q.Support() {
+		dst = append(dst, math.Abs(q.Weights[i])*ranges[i]/b)
+	}
+	return dst, nil
 }
 
 // Contract is a privacy compensation contract π(ε): the payment an owner
@@ -178,6 +301,29 @@ func Compensations(leakages linalg.Vector, contracts []Contract) (linalg.Vector,
 		out[i] = contracts[i].Compensation(eps)
 	}
 	return out, nil
+}
+
+// SupportCompensations applies each supported owner's contract to the
+// support-aligned leakage vector, appending into dst[:0] (pass nil for
+// a fresh slice). support and leakages must align entry for entry —
+// the shapes SupportLeakages produces. The values are bit-identical to
+// the corresponding dense Compensations entries; owners outside the
+// support are owed exactly zero (π(0) = 0 by the Contract invariant).
+func SupportCompensations(dst linalg.Vector, support []int, leakages linalg.Vector, contracts []Contract) (linalg.Vector, error) {
+	if len(support) != len(leakages) {
+		return nil, fmt.Errorf("privacy: %d support indices for %d leakages", len(support), len(leakages))
+	}
+	dst = dst[:0]
+	for k, i := range support {
+		if i < 0 || i >= len(contracts) {
+			return nil, fmt.Errorf("privacy: support index %d out of range for %d contracts", i, len(contracts))
+		}
+		if contracts[i] == nil {
+			return nil, fmt.Errorf("privacy: nil contract for owner %d", i)
+		}
+		dst = append(dst, contracts[i].Compensation(leakages[k]))
+	}
+	return dst, nil
 }
 
 // TotalCompensation returns Σπᵢ — the query's reserve price.

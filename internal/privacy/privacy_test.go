@@ -83,8 +83,23 @@ func TestLeakages(t *testing.T) {
 	if _, err := q.Leakages(linalg.VectorOf(1)); err == nil {
 		t.Fatal("expected length error")
 	}
-	if _, err := q.Leakages(linalg.VectorOf(1, -1, 1)); err == nil {
-		t.Fatal("expected negative range error")
+}
+
+// Negative-range validation is hoisted out of the Leakages hot loop:
+// ValidateRanges is the construction-time gate the range-owning
+// constructors (NewBroker, NewConsumerModel) call once.
+func TestValidateRanges(t *testing.T) {
+	if err := ValidateRanges(linalg.VectorOf(0, 1, 4.5)); err != nil {
+		t.Fatalf("valid ranges rejected: %v", err)
+	}
+	for _, bad := range []linalg.Vector{
+		linalg.VectorOf(1, -1, 1),
+		linalg.VectorOf(math.NaN()),
+		linalg.VectorOf(math.Inf(1)),
+	} {
+		if err := ValidateRanges(bad); err == nil {
+			t.Fatalf("ranges %v accepted", bad)
+		}
 	}
 }
 
@@ -192,5 +207,183 @@ func TestContractNames(t *testing.T) {
 	lc, _ := NewLinearContract(3)
 	if tc.Name() == "" || lc.Name() == "" {
 		t.Fatal("empty contract names")
+	}
+}
+
+// --- sparse support pipeline ---
+
+func TestSupportRepresentation(t *testing.T) {
+	q, err := NewLinearQuery(linalg.VectorOf(0, 2, 0, -1, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := q.Support()
+	if len(sup) != 2 || sup[0] != 1 || sup[1] != 3 {
+		t.Fatalf("support = %v, want [1 3]", sup)
+	}
+	// Struct-literal queries (no constructor) still get a support, just
+	// a freshly computed one per call.
+	lit := &LinearQuery{Weights: linalg.VectorOf(1, 0, 3), NoiseVariance: 1}
+	sup = lit.Support()
+	if len(sup) != 2 || sup[0] != 0 || sup[1] != 2 {
+		t.Fatalf("literal support = %v, want [0 2]", sup)
+	}
+	// An all-zero query has an empty, non-nil support.
+	zq, err := NewLinearQuery(linalg.VectorOf(0, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := zq.Support(); s == nil || len(s) != 0 {
+		t.Fatalf("zero query support = %v, want empty", s)
+	}
+}
+
+func TestNewLinearQuerySharedAliases(t *testing.T) {
+	w := linalg.VectorOf(1, 0, 2)
+	q, err := NewLinearQueryShared(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &q.Weights[0] != &w[0] {
+		t.Fatal("NewLinearQueryShared copied the weights")
+	}
+	if _, err := NewLinearQueryShared(linalg.VectorOf(math.Inf(1)), 1); err == nil {
+		t.Fatal("expected error for Inf weight")
+	}
+	if _, err := NewLinearQueryShared(nil, 1); err == nil {
+		t.Fatal("expected error for empty weights")
+	}
+	if _, err := NewLinearQueryShared(linalg.VectorOf(1), math.NaN()); err == nil {
+		t.Fatal("expected error for NaN variance")
+	}
+}
+
+func TestNewSparseLinearQuery(t *testing.T) {
+	q, err := NewSparseLinearQuery(6, []int{1, 4}, linalg.VectorOf(2, -3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Weights.Equal(linalg.VectorOf(0, 2, 0, 0, -3, 0), 0) {
+		t.Fatalf("dense weights = %v", q.Weights)
+	}
+	sup := q.Support()
+	if len(sup) != 2 || sup[0] != 1 || sup[1] != 4 {
+		t.Fatalf("support = %v", sup)
+	}
+	// Explicit zero weights drop out of the support.
+	q, err = NewSparseLinearQuery(4, []int{0, 2}, linalg.VectorOf(0, 5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup := q.Support(); len(sup) != 1 || sup[0] != 2 {
+		t.Fatalf("support = %v, want [2]", sup)
+	}
+	for _, tc := range []struct {
+		name  string
+		n     int
+		idx   []int
+		w     linalg.Vector
+		noise float64
+	}{
+		{"zero owners", 0, nil, nil, 1},
+		{"length mismatch", 4, []int{1}, linalg.VectorOf(1, 2), 1},
+		{"NaN weight", 4, []int{1}, linalg.VectorOf(math.NaN()), 1},
+		{"Inf weight", 4, []int{1}, linalg.VectorOf(math.Inf(-1)), 1},
+		{"index out of range", 4, []int{4}, linalg.VectorOf(1), 1},
+		{"negative index", 4, []int{-1}, linalg.VectorOf(1), 1},
+		{"unsorted indices", 4, []int{2, 1}, linalg.VectorOf(1, 2), 1},
+		{"duplicate indices", 4, []int{1, 1}, linalg.VectorOf(1, 2), 1},
+		{"bad variance", 4, []int{1}, linalg.VectorOf(1), 0},
+	} {
+		if _, err := NewSparseLinearQuery(tc.n, tc.idx, tc.w, tc.noise); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// TestSupportPipelineMatchesDense pins the sparse leakage/compensation
+// path bit-for-bit against the dense seed pipeline: the support entries
+// must be identical float64s, and every off-support dense entry must be
+// exactly zero.
+func TestSupportPipelineMatchesDense(t *testing.T) {
+	r := randx.New(99)
+	tc, _ := NewTanhContract(1.5, 2)
+	lc, _ := NewLinearContract(0.5)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(40)
+		weights := make(linalg.Vector, n)
+		for i := range weights {
+			if r.Float64() < 0.6 { // mostly sparse
+				continue
+			}
+			weights[i] = r.Normal(0, 2)
+		}
+		ranges := make(linalg.Vector, n)
+		contracts := make([]Contract, n)
+		for i := range ranges {
+			ranges[i] = r.Uniform(0, 5)
+			if r.Bool() {
+				contracts[i] = tc
+			} else {
+				contracts[i] = lc
+			}
+		}
+		variance := math.Pow(10, float64(r.Intn(9)-4))
+		q, err := NewLinearQuery(weights, variance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		denseLeak, err := q.Leakages(ranges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		denseComp, err := Compensations(denseLeak, contracts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sup := q.Support()
+		sparseLeak, err := q.SupportLeakages(nil, ranges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparseComp, err := SupportCompensations(nil, sup, sparseLeak, contracts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 0
+		for i := 0; i < n; i++ {
+			if k < len(sup) && sup[k] == i {
+				if sparseLeak[k] != denseLeak[i] || sparseComp[k] != denseComp[i] {
+					t.Fatalf("trial %d owner %d: sparse (%v, %v) != dense (%v, %v)",
+						trial, i, sparseLeak[k], sparseComp[k], denseLeak[i], denseComp[i])
+				}
+				k++
+				continue
+			}
+			if denseLeak[i] != 0 || denseComp[i] != 0 {
+				t.Fatalf("trial %d owner %d off support but dense (%v, %v) != 0",
+					trial, i, denseLeak[i], denseComp[i])
+			}
+		}
+		if k != len(sup) {
+			t.Fatalf("trial %d: consumed %d of %d support entries", trial, k, len(sup))
+		}
+	}
+}
+
+func TestSupportPipelineErrors(t *testing.T) {
+	q, _ := NewLinearQuery(linalg.VectorOf(1, 0, 2), 1)
+	if _, err := q.SupportLeakages(nil, linalg.VectorOf(1)); err == nil {
+		t.Fatal("expected length error")
+	}
+	tc, _ := NewTanhContract(1, 1)
+	if _, err := SupportCompensations(nil, []int{0, 2}, linalg.VectorOf(1), []Contract{tc, tc, tc}); err == nil {
+		t.Fatal("expected alignment error")
+	}
+	if _, err := SupportCompensations(nil, []int{5}, linalg.VectorOf(1), []Contract{tc}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := SupportCompensations(nil, []int{0}, linalg.VectorOf(1), []Contract{nil}); err == nil {
+		t.Fatal("expected nil contract error")
 	}
 }

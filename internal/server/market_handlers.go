@@ -35,7 +35,11 @@ func marketQuery(m *HostedMarket, req TradeRequest) (market.Query, error) {
 	if !isFinite(req.Valuation) {
 		return market.Query{}, fmt.Errorf("valuation must be finite")
 	}
-	q, err := privacy.NewLinearQuery(req.Weights, req.NoiseVariance)
+	// The request's weight slice is private to this trade and the trade
+	// finishes before the request body (or its pooled decode scratch) is
+	// recycled, so the query can alias it instead of cloning: that clone
+	// was the last O(owners) allocation on the serving hot path.
+	q, err := privacy.NewLinearQueryShared(req.Weights, req.NoiseVariance)
 	if err != nil {
 		return market.Query{}, err
 	}

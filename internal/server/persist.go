@@ -141,6 +141,10 @@ func (p *Persister) Recover() (int, error) {
 		go func(group []store.Entry) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// Accumulate revisions locally and publish them under one
+			// revMu acquisition instead of paying a lock handoff per
+			// stream (and never hold revMu across GetOrRestore).
+			revs := make(map[string]uint64, len(group))
 			for _, e := range group {
 				st, _, err := p.reg.GetOrRestore(e.ID, e.Env)
 				if err != nil {
@@ -149,10 +153,13 @@ func (p *Persister) Recover() (int, error) {
 					errMu.Unlock()
 					return
 				}
-				p.revMu.Lock()
-				p.lastRev[e.ID] = st.Revision()
-				p.revMu.Unlock()
+				revs[e.ID] = st.Revision()
 			}
+			p.revMu.Lock()
+			for id, rev := range revs {
+				p.lastRev[id] = rev
+			}
+			p.revMu.Unlock()
 		}(group)
 	}
 	wg.Wait()
