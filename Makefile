@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fmt bench-smoke bench-durability bench-serve bench-market ci
+.PHONY: build test race lint fmt bench-smoke bench-durability bench-serve bench-market bench-loadgen loadgen-smoke ci
 
 build:
 	$(GO) build ./...
@@ -53,5 +53,20 @@ bench-serve:
 # market with 64-support queries).
 bench-market:
 	$(GO) run ./cmd/servebench -scenario market -out BENCH_market.json
+
+# bench-loadgen regenerates BENCH_loadgen.json, the tracked perf
+# artifact of the scenario engine: the four dataset-shaped workloads
+# (accommodation, impression, ratings, mixed) driven through the public
+# SDK against an in-process broker, each under the open-loop and
+# closed-loop drivers, with latency percentiles, error-code counts, and
+# regret/revenue summaries per scenario.
+bench-loadgen:
+	$(GO) run ./cmd/loadgen -out BENCH_loadgen.json
+
+# loadgen-smoke is the CI gate on the scenario engine: every scenario
+# under both drivers at tiny synthetic sizes (~5s, no datasets needed),
+# failing if any op errors beyond the budget of zero.
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -smoke
 
 ci: fmt build test lint

@@ -1,0 +1,42 @@
+package api
+
+// Server-side observability wire types (GET /v1/admin/metrics): per-route
+// request counters and coarse latency summaries, maintained with atomic
+// counters on the serving path so scraping them never perturbs a load
+// test. Load tools (cmd/loadgen) cross-check their client-side numbers
+// against this endpoint.
+
+// MetricsBucket is one cumulative latency bucket, Prometheus-style:
+// Count requests completed within LEMillis milliseconds. Requests slower
+// than every bucket appear only in the endpoint's total Count (the
+// implicit +Inf bucket).
+type MetricsBucket struct {
+	// LEMillis is the bucket's inclusive upper bound in milliseconds.
+	LEMillis float64 `json:"le_ms"`
+	// Count is the cumulative number of requests at or under the bound.
+	Count uint64 `json:"count"`
+}
+
+// EndpointMetrics summarizes one route's traffic since server start.
+type EndpointMetrics struct {
+	// Endpoint is the route pattern ("POST /v1/streams/{id}/price"), or
+	// "unmatched" for requests no route accepted (404/405).
+	Endpoint string `json:"endpoint"`
+	// Count is the number of requests served.
+	Count uint64 `json:"count"`
+	// Errors counts responses with a non-2xx status.
+	Errors uint64 `json:"errors"`
+	// LatencySumMS is the summed wall-clock handling time in milliseconds;
+	// LatencySumMS / Count is the mean latency.
+	LatencySumMS float64 `json:"latency_sum_ms"`
+	// LatencyMaxMS is the slowest request observed.
+	LatencyMaxMS float64 `json:"latency_max_ms"`
+	// Buckets is the cumulative latency distribution, ascending by bound.
+	Buckets []MetricsBucket `json:"buckets"`
+}
+
+// MetricsResponse reports every route that has seen traffic, sorted by
+// endpoint pattern (GET /v1/admin/metrics).
+type MetricsResponse struct {
+	Endpoints []EndpointMetrics `json:"endpoints"`
+}

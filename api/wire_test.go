@@ -129,6 +129,25 @@ func samples(t *testing.T) map[string]any {
 			},
 			Compacted: true,
 		},
+		"metrics_response": MetricsResponse{
+			Endpoints: []EndpointMetrics{
+				{
+					Endpoint: "POST /v1/streams/{id}/price", Count: 42, Errors: 1,
+					LatencySumMS: 12.5, LatencyMaxMS: 3.75,
+					Buckets: []MetricsBucket{
+						{LEMillis: 0.25, Count: 30}, {LEMillis: 1, Count: 40},
+						{LEMillis: 4, Count: 42}, {LEMillis: 16, Count: 42},
+						{LEMillis: 64, Count: 42}, {LEMillis: 250, Count: 42},
+						{LEMillis: 1000, Count: 42},
+					},
+				},
+				{
+					Endpoint: "unmatched", Count: 1, Errors: 1,
+					LatencySumMS: 0.02, LatencyMaxMS: 0.02,
+					Buckets: []MetricsBucket{{LEMillis: 0.25, Count: 1}},
+				},
+			},
+		},
 		"store_status_response": StoreStatusResponse{
 			Configured: true, CheckpointInterval: "5s", RecoveredStreams: 4,
 			LastCheckpoint: &CheckpointStats{Streams: 4, Persisted: 4, DurationMS: 0.5},

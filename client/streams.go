@@ -121,3 +121,11 @@ func (c *Client) StoreStatus(ctx context.Context) (api.StoreStatusResponse, erro
 	err := c.do(ctx, http.MethodGet, "/v1/admin/store", nil, &resp, true)
 	return resp, err
 }
+
+// Metrics reports the server's per-endpoint request counters and latency
+// summaries. (GET /v1/admin/metrics)
+func (c *Client) Metrics(ctx context.Context) (api.MetricsResponse, error) {
+	var resp api.MetricsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/admin/metrics", nil, &resp, true)
+	return resp, err
+}

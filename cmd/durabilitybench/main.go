@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"datamarket/internal/histo"
 	"datamarket/internal/linalg"
 	"datamarket/internal/server"
 	"datamarket/internal/store"
@@ -65,6 +66,10 @@ type throughputResult struct {
 	DurationSec  float64 `json:"duration_sec"`
 	Rounds       int64   `json:"rounds"`
 	RoundsPerSec float64 `json:"rounds_per_sec"`
+	// Per-round latency over the window (one lookup + priced round, with
+	// the checkpoint enqueue riding on the same shard lock).
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
 	// Group-commit shape over the window: how many records each shared
 	// write (and fsync, under "always") carried.
 	Commits          uint64  `json:"commits"`
@@ -110,8 +115,8 @@ func run(out string, duration time.Duration, streams, workers, total int, dirtyS
 		if policy == store.FsyncNever {
 			never = res.RoundsPerSec
 		}
-		fmt.Printf("throughput  fsync=%-8s  %9.0f rounds/s  (%d commits, %.1f records/commit)\n",
-			res.Fsync, res.RoundsPerSec, res.Commits, res.RecordsPerCommit)
+		fmt.Printf("throughput  fsync=%-8s  %9.0f rounds/s  p50 %6.1fµs  p99 %6.1fµs  (%d commits, %.1f records/commit)\n",
+			res.Fsync, res.RoundsPerSec, res.P50Micros, res.P99Micros, res.Commits, res.RecordsPerCommit)
 	}
 	if never > 0 {
 		rep.AlwaysOverNeverSlowdown = round3(never / rep.Throughput[0].RoundsPerSec)
@@ -180,6 +185,7 @@ func runThroughput(policy store.FsyncPolicy, duration time.Duration, streams, wo
 	base := st.Stats()
 	var (
 		rounds int64
+		lats   = histo.New()
 		wg     sync.WaitGroup
 		stop   = make(chan struct{})
 		ckpt   = make(chan struct{})
@@ -205,6 +211,7 @@ func runThroughput(policy store.FsyncPolicy, duration time.Duration, streams, wo
 			x := make(linalg.Vector, 4)
 			var n int64
 			for time.Now().Before(deadline) {
+				t0 := time.Now()
 				s, err := reg.Get(ids[rng.Intn(len(ids))])
 				if err != nil {
 					return
@@ -215,6 +222,7 @@ func runThroughput(policy store.FsyncPolicy, duration time.Duration, streams, wo
 				if _, _, err := s.Price(x, rng.Float64()*0.5, rng.Float64()*2); err != nil {
 					return
 				}
+				lats.RecordDuration(time.Since(t0))
 				n++
 			}
 			atomic.AddInt64(&rounds, n)
@@ -229,6 +237,7 @@ func runThroughput(policy store.FsyncPolicy, duration time.Duration, streams, wo
 		return throughputResult{}, err
 	}
 
+	sum := lats.Summarize(1e3)
 	res := throughputResult{
 		Fsync:         string(policy),
 		Streams:       streams,
@@ -236,6 +245,8 @@ func runThroughput(policy store.FsyncPolicy, duration time.Duration, streams, wo
 		DurationSec:   round3(elapsed.Seconds()),
 		Rounds:        rounds,
 		RoundsPerSec:  round3(float64(rounds) / elapsed.Seconds()),
+		P50Micros:     sum.P50,
+		P99Micros:     sum.P99,
 		Commits:       stats.Commits - base.Commits,
 		CommitRecords: stats.CommitRecords - base.CommitRecords,
 	}

@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"datamarket/internal/dataset"
+	"datamarket/internal/histo"
 	"datamarket/internal/linalg"
 	"datamarket/internal/market"
 	"datamarket/internal/pricing"
@@ -84,16 +86,19 @@ func run(ownerCount, n, rounds int, seed uint64, verbose bool) error {
 	}
 
 	rng := randx.NewStream(seed, 7)
+	lats := histo.New()
 	var sold, skipped int
 	for t := 0; t < rounds; t++ {
 		q, err := consumers.NextQuery(rng)
 		if err != nil {
 			return err
 		}
+		t0 := time.Now()
 		tx, err := broker.Trade(q)
 		if err != nil {
 			return err
 		}
+		lats.RecordDuration(time.Since(t0))
 		if tx.Sold {
 			sold++
 		}
@@ -118,6 +123,9 @@ func run(ownerCount, n, rounds int, seed uint64, verbose bool) error {
 	c := mech.Counters()
 	fmt.Printf("mechanism counters:  exploratory %d, conservative %d, cuts %d\n",
 		c.Exploratory, c.Conservative, c.CutsApplied)
+	ls := lats.Summarize(1e3)
+	fmt.Printf("trade latency:       p50 %.1fµs  p99 %.1fµs  max %.1fµs\n",
+		ls.P50, ls.P99, ls.Max)
 	// Top-compensated owners.
 	fmt.Println("sample owner payouts:")
 	for i := 0; i < 5 && i < broker.Owners(); i++ {

@@ -238,8 +238,9 @@ func runOverhead(full bool, out string, seed uint64) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  %-32s latency %10v/round   state %8d bytes   heap %10d bytes\n",
-			res.Name, res.LatencyPerRound, res.MechanismBytes, res.ProcessBytes)
+		fmt.Printf("  %-32s latency %10v/round (p50 %v, p99 %v)   state %8d bytes   heap %10d bytes\n",
+			res.Name, res.LatencyPerRound, res.LatencyP50, res.LatencyP99,
+			res.MechanismBytes, res.ProcessBytes)
 	}
 	return nil
 }

@@ -30,13 +30,13 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"datamarket/api"
 	"datamarket/api/binary"
+	"datamarket/internal/histo"
 	"datamarket/internal/randx"
 	"datamarket/internal/server"
 )
@@ -210,8 +210,7 @@ func runExperiment(cd codec, mode string, duration time.Duration, workers, batch
 	var (
 		total    atomic.Int64
 		wg       sync.WaitGroup
-		mu       sync.Mutex
-		lats     []float64
+		lats     = histo.New()
 		firstErr atomic.Value
 	)
 	start := time.Now()
@@ -225,7 +224,6 @@ func runExperiment(cd codec, mode string, duration time.Duration, workers, batch
 			var (
 				scratch []byte
 				dec     binary.Decoder
-				myLats  []float64
 				mine    int64
 			)
 			req := &api.BatchPriceRequest{Rounds: make([]api.BatchPriceRound, rounds)}
@@ -284,13 +282,10 @@ func runExperiment(cd codec, mode string, duration time.Duration, workers, batch
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
-				myLats = append(myLats, float64(time.Since(t0))/float64(time.Microsecond))
+				lats.RecordDuration(time.Since(t0))
 				mine += int64(rounds)
 			}
 			total.Add(mine)
-			mu.Lock()
-			lats = append(lats, myLats...)
-			mu.Unlock()
 		}(w)
 	}
 	wg.Wait()
@@ -298,7 +293,7 @@ func runExperiment(cd codec, mode string, duration time.Duration, workers, batch
 	if err, ok := firstErr.Load().(error); ok && err != nil {
 		return servingResult{}, err
 	}
-	sort.Float64s(lats)
+	sum := lats.Summarize(1e3)
 	res := servingResult{
 		Codec:        cd.name,
 		Mode:         mode,
@@ -307,22 +302,13 @@ func runExperiment(cd codec, mode string, duration time.Duration, workers, batch
 		DurationSec:  round3(elapsed.Seconds()),
 		Rounds:       total.Load(),
 		RoundsPerSec: round3(float64(total.Load()) / elapsed.Seconds()),
-		P50Micros:    round3(percentile(lats, 0.50)),
-		P99Micros:    round3(percentile(lats, 0.99)),
+		P50Micros:    sum.P50,
+		P99Micros:    sum.P99,
 	}
 	if mode == "batch" {
 		res.Batch = batch
 	}
 	return res, nil
-}
-
-// percentile reads the p-quantile from sorted samples.
-func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(p * float64(len(sorted)-1))
-	return sorted[i]
 }
 
 func round3(v float64) float64 {

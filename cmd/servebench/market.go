@@ -28,7 +28,6 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +35,7 @@ import (
 	"datamarket/api"
 	"datamarket/api/binary"
 	"datamarket/internal/feature"
+	"datamarket/internal/histo"
 	"datamarket/internal/linalg"
 	"datamarket/internal/market"
 	"datamarket/internal/pricing"
@@ -137,11 +137,10 @@ func buildTradePool(owners, support, size int) (*tradePool, error) {
 // measure runs worker goroutines against loop (which reports trades done
 // and latency per iteration) until the deadline and aggregates.
 func measure(mode string, duration time.Duration, workers, batch int,
-	loop func(w int, deadline time.Time, record func(trades int64, lat float64)) error) (marketResult, error) {
+	loop func(w int, deadline time.Time, record func(trades int64, lat time.Duration)) error) (marketResult, error) {
 	var (
 		total    atomic.Int64
-		mu       sync.Mutex
-		lats     []float64
+		lats     = histo.New()
 		firstErr atomic.Value
 		wg       sync.WaitGroup
 	)
@@ -151,19 +150,15 @@ func measure(mode string, duration time.Duration, workers, batch int,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			var myLats []float64
 			var mine int64
-			err := loop(w, deadline, func(trades int64, lat float64) {
+			err := loop(w, deadline, func(trades int64, lat time.Duration) {
 				mine += trades
-				myLats = append(myLats, lat)
+				lats.RecordDuration(lat)
 			})
 			if err != nil {
 				firstErr.CompareAndSwap(nil, err)
 			}
 			total.Add(mine)
-			mu.Lock()
-			lats = append(lats, myLats...)
-			mu.Unlock()
 		}(w)
 	}
 	wg.Wait()
@@ -171,7 +166,7 @@ func measure(mode string, duration time.Duration, workers, batch int,
 	if err, ok := firstErr.Load().(error); ok && err != nil {
 		return marketResult{}, err
 	}
-	sort.Float64s(lats)
+	sum := lats.Summarize(1e3)
 	return marketResult{
 		Mode:         mode,
 		Batch:        batch,
@@ -179,8 +174,8 @@ func measure(mode string, duration time.Duration, workers, batch int,
 		DurationSec:  round3(elapsed.Seconds()),
 		Trades:       total.Load(),
 		TradesPerSec: round3(float64(total.Load()) / elapsed.Seconds()),
-		P50Micros:    round3(percentile(lats, 0.50)),
-		P99Micros:    round3(percentile(lats, 0.99)),
+		P50Micros:    sum.P50,
+		P99Micros:    sum.P99,
 	}, nil
 }
 
@@ -210,7 +205,7 @@ func runDenseLoop(pool *tradePool, duration time.Duration, workers, owners int) 
 		rounds  int64
 	)
 	return measure("dense_loop", duration, workers, 0,
-		func(w int, deadline time.Time, record func(int64, float64)) error {
+		func(w int, deadline time.Time, record func(int64, time.Duration)) error {
 			k := w * 31 // stagger workers across the pool
 			for time.Now().Before(deadline) {
 				t0 := time.Now()
@@ -249,7 +244,7 @@ func runDenseLoop(pool *tradePool, duration time.Duration, workers, owners int) 
 				}
 				rounds++
 				booksMu.Unlock()
-				record(1, float64(time.Since(t0))/float64(time.Microsecond))
+				record(1, time.Since(t0))
 			}
 			return nil
 		})
@@ -275,7 +270,7 @@ func runBatchInprocess(pool *tradePool, duration time.Duration, workers, batch, 
 		return marketResult{}, err
 	}
 	return measure("batch_inprocess", duration, workers, batch,
-		func(w int, deadline time.Time, record func(int64, float64)) error {
+		func(w int, deadline time.Time, record func(int64, time.Duration)) error {
 			k := w * 31
 			queries := make([]market.Query, batch)
 			for time.Now().Before(deadline) {
@@ -292,7 +287,7 @@ func runBatchInprocess(pool *tradePool, duration time.Duration, workers, batch, 
 						return o.Err
 					}
 				}
-				record(int64(batch), float64(time.Since(t0))/float64(time.Microsecond))
+				record(int64(batch), time.Since(t0))
 			}
 			return nil
 		})
@@ -328,7 +323,7 @@ func runMarketHTTP(pool *tradePool, cd codec, mode string, duration time.Duratio
 		path = "/trade"
 	}
 	return measure(mode, duration, workers, perReq,
-		func(w int, deadline time.Time, record func(int64, float64)) error {
+		func(w int, deadline time.Time, record func(int64, time.Duration)) error {
 			k := w * 31
 			url := ts.URL + "/v1/markets/bench" + path
 			var (
@@ -388,7 +383,7 @@ func runMarketHTTP(pool *tradePool, cd codec, mode string, duration time.Duratio
 						}
 					}
 				}
-				record(int64(perReq), float64(time.Since(t0))/float64(time.Microsecond))
+				record(int64(perReq), time.Since(t0))
 			}
 			return nil
 		})

@@ -206,7 +206,7 @@ func ParseImpressions(r io.Reader, limit int) ([]Impression, error) {
 			return nil, err
 		}
 		if click != 0 && click != 1 {
-			return nil, fmt.Errorf("dataset: line %d: click must be 0/1, got %d", line, click)
+			return nil, fmt.Errorf("dataset: line %d: click must be 0/1, got %d: %w", line, click, ErrBadRow)
 		}
 		im := Impression{Click: click == 1, Fields: make(map[string]string, len(AvazuFields))}
 		for j, f := range AvazuFields {

@@ -8,15 +8,25 @@ package dataset
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
+
+// ErrBadRow marks any malformed-row failure from the dataset loaders:
+// short or ragged rows, non-numeric or non-finite cells, out-of-range
+// labels. Callers use errors.Is(err, ErrBadRow) to tell data corruption
+// apart from plain I/O failures; the loaders never panic on bad input
+// and never skip a row silently.
+var ErrBadRow = errors.New("malformed row")
 
 // csvTable is a small helper around encoding/csv that reads a headered
 // table and resolves columns by name.
 type csvTable struct {
 	header map[string]int
+	width  int
 	reader *csv.Reader
 }
 
@@ -32,7 +42,7 @@ func newCSVTable(r io.Reader) (*csvTable, error) {
 	for i, name := range head {
 		idx[name] = i
 	}
-	return &csvTable{header: idx, reader: cr}, nil
+	return &csvTable{header: idx, width: len(head), reader: cr}, nil
 }
 
 // require returns the column indices for the names, failing on any miss.
@@ -48,16 +58,35 @@ func (t *csvTable) require(names ...string) ([]int, error) {
 	return out, nil
 }
 
-// next reads one record; io.EOF signals the clean end of the table.
+// next reads one record; io.EOF signals the clean end of the table. Any
+// other failure — including encoding/csv's own short/ragged-row error —
+// comes back wrapped with ErrBadRow so loader errors are classifiable.
 func (t *csvTable) next() ([]string, error) {
-	return t.reader.Read()
+	rec, err := t.reader.Read()
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: %w", ErrBadRow, err)
+	}
+	// encoding/csv already enforces a constant field count after the
+	// header; this guards the invariant if the reader is ever swapped.
+	if len(rec) != t.width {
+		return nil, fmt.Errorf("%w: got %d fields, want %d", ErrBadRow, len(rec), t.width)
+	}
+	return rec, nil
 }
 
-// parseFloat converts a CSV cell into a float64 with a helpful error.
+// parseFloat converts a CSV cell into a finite float64 with a helpful
+// error; NaN/Inf cells are rejected so they cannot poison downstream
+// regressions.
 func parseFloat(cell, column string, line int) (float64, error) {
 	v, err := strconv.ParseFloat(cell, 64)
 	if err != nil {
-		return 0, fmt.Errorf("dataset: line %d column %s: bad number %q", line, column, cell)
+		return 0, fmt.Errorf("dataset: line %d column %s: bad number %q: %w", line, column, cell, ErrBadRow)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("dataset: line %d column %s: non-finite number %q: %w", line, column, cell, ErrBadRow)
 	}
 	return v, nil
 }
@@ -66,7 +95,7 @@ func parseFloat(cell, column string, line int) (float64, error) {
 func parseInt(cell, column string, line int) (int64, error) {
 	v, err := strconv.ParseInt(cell, 10, 64)
 	if err != nil {
-		return 0, fmt.Errorf("dataset: line %d column %s: bad integer %q", line, column, cell)
+		return 0, fmt.Errorf("dataset: line %d column %s: bad integer %q: %w", line, column, cell, ErrBadRow)
 	}
 	return v, nil
 }

@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// openFixture opens a checked-in CSV under testdata/.
+func openFixture(t *testing.T, name string) *os.File {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("open fixture: %v", err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestFixtureListings(t *testing.T) {
+	ls, err := ParseListings(openFixture(t, "airbnb_ok.csv"), 0)
+	if err != nil {
+		t.Fatalf("ParseListings ok fixture: %v", err)
+	}
+	if len(ls) != 3 {
+		t.Fatalf("got %d listings, want 3", len(ls))
+	}
+	if ls[0].City != "NYC" || ls[0].LogPrice != 5.01 || len(ls[0].Amenities) != 3 {
+		t.Errorf("first listing mismatch: %+v", ls[0])
+	}
+	if ls[2].Amenities != nil {
+		t.Errorf("empty amenities cell should parse to nil, got %v", ls[2].Amenities)
+	}
+	if _, err := FeaturizeListing(&ls[0]); err != nil {
+		t.Errorf("featurize parsed listing: %v", err)
+	}
+
+	if _, err := ParseListings(openFixture(t, "airbnb_badnum.csv"), 0); !errors.Is(err, ErrBadRow) {
+		t.Errorf("bad number: err = %v, want ErrBadRow", err)
+	}
+	if _, err := ParseListings(openFixture(t, "airbnb_short.csv"), 0); !errors.Is(err, ErrBadRow) {
+		t.Errorf("short row: err = %v, want ErrBadRow", err)
+	}
+	// The limit can stop parsing before a malformed tail row is reached.
+	if ls, err := ParseListings(openFixture(t, "airbnb_badnum.csv"), 1); err != nil || len(ls) != 1 {
+		t.Errorf("limit 1 over bad fixture: got %d listings, err %v", len(ls), err)
+	}
+}
+
+func TestFixtureImpressions(t *testing.T) {
+	imps, err := ParseImpressions(openFixture(t, "avazu_ok.csv"), 0)
+	if err != nil {
+		t.Fatalf("ParseImpressions ok fixture: %v", err)
+	}
+	if len(imps) != 2 {
+		t.Fatalf("got %d impressions, want 2", len(imps))
+	}
+	if !imps[0].Click || imps[1].Click {
+		t.Errorf("click labels mismatch: %v %v", imps[0].Click, imps[1].Click)
+	}
+	if imps[0].Fields["device_model"] != "device_model_7c" {
+		t.Errorf("field mismatch: %q", imps[0].Fields["device_model"])
+	}
+
+	if _, err := ParseImpressions(openFixture(t, "avazu_badclick.csv"), 0); !errors.Is(err, ErrBadRow) {
+		t.Errorf("bad click: err = %v, want ErrBadRow", err)
+	}
+	if _, err := ParseImpressions(openFixture(t, "avazu_short.csv"), 0); !errors.Is(err, ErrBadRow) {
+		t.Errorf("short row: err = %v, want ErrBadRow", err)
+	}
+}
+
+func TestFixtureRatings(t *testing.T) {
+	rs, err := ParseRatings(openFixture(t, "ratings_ok.csv"), 0)
+	if err != nil {
+		t.Fatalf("ParseRatings ok fixture: %v", err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("got %d ratings, want 4", len(rs))
+	}
+	if rs[0].UserID != 1 || rs[0].MovieID != 31 || rs[0].Rating != 2.5 || rs[0].Timestamp != 1260759144 {
+		t.Errorf("first rating mismatch: %+v", rs[0])
+	}
+
+	if _, err := ParseRatings(openFixture(t, "ratings_badnum.csv"), 0); !errors.Is(err, ErrBadRow) {
+		t.Errorf("bad number: err = %v, want ErrBadRow", err)
+	}
+	if _, err := ParseRatings(openFixture(t, "ratings_short.csv"), 0); !errors.Is(err, ErrBadRow) {
+		t.Errorf("short row: err = %v, want ErrBadRow", err)
+	}
+}
+
+func TestParseFloatRejectsNonFinite(t *testing.T) {
+	csv := "userId,movieId,rating,timestamp\n1,2,NaN,100\n"
+	if _, err := ParseRatings(strings.NewReader(csv), 0); !errors.Is(err, ErrBadRow) {
+		t.Errorf("NaN rating: err = %v, want ErrBadRow", err)
+	}
+	csv = "userId,movieId,rating,timestamp\n1,2,+Inf,100\n"
+	if _, err := ParseRatings(strings.NewReader(csv), 0); !errors.Is(err, ErrBadRow) {
+		t.Errorf("Inf rating: err = %v, want ErrBadRow", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"datamarket/internal/histo"
 	"datamarket/internal/linalg"
 	"datamarket/internal/pricing"
 	"datamarket/internal/randx"
@@ -20,6 +21,10 @@ type OverheadResult struct {
 	N               int
 	Rounds          int
 	LatencyPerRound time.Duration
+	// LatencyP50 and LatencyP99 are per-round quantiles; the mean alone
+	// hides the ellipsoid-cut rounds, which cost an n×n pass.
+	LatencyP50 time.Duration
+	LatencyP99 time.Duration
 	// MechanismBytes estimates the mechanism's working set (the n×n shape
 	// matrix plus vectors); the paper reports whole-process RSS, which for
 	// Python is dominated by the interpreter — this is the honest Go
@@ -62,8 +67,10 @@ func MeasureLinearOverhead(n, rounds int, seed uint64) (*OverheadResult, error) 
 		qs[i] = x.Sum() * 0.8
 		vs[i] = x.Dot(theta)
 	}
+	lats := histo.New()
 	start := time.Now()
 	for i := 0; i < rounds; i++ {
+		t0 := time.Now()
 		quote, err := m.PostPrice(xs[i], qs[i])
 		if err != nil {
 			return nil, err
@@ -73,6 +80,7 @@ func MeasureLinearOverhead(n, rounds int, seed uint64) (*OverheadResult, error) 
 				return nil, err
 			}
 		}
+		lats.RecordDuration(time.Since(t0))
 	}
 	elapsed := time.Since(start)
 
@@ -83,6 +91,8 @@ func MeasureLinearOverhead(n, rounds int, seed uint64) (*OverheadResult, error) 
 		N:               n,
 		Rounds:          rounds,
 		LatencyPerRound: elapsed / time.Duration(rounds),
+		LatencyP50:      time.Duration(lats.Quantile(0.5)),
+		LatencyP99:      time.Duration(lats.Quantile(0.99)),
 		MechanismBytes:  mechanismBytes(n),
 		ProcessBytes:    ms.HeapInuse,
 	}, nil

@@ -1,0 +1,157 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+
+	"datamarket/api"
+	"datamarket/client"
+	"datamarket/internal/dataset"
+	"datamarket/internal/feature"
+	"datamarket/internal/randx"
+)
+
+// Impression is the Avazu scenario (§V-C): a pool of hashed-CTR
+// impression vectors is priced against a fan-out of streams whose
+// popularity follows the key-skew chooser — a few hot ad slots take
+// most of the traffic, the shape of real ad logs. Workers drive
+// /price/batch with Batch rounds per call, the high-throughput batch
+// path. Valuations are the impressions' click probabilities under the
+// generator's hidden logistic model (or a click-derived value for real
+// CSV rows), so stream regret decays as the mechanisms learn.
+type Impression struct {
+	cfg     Config
+	c       *client.Client
+	streams []string
+	xs      [][]float64
+	vals    []float64
+}
+
+// NewImpression builds the scenario; Setup does the provisioning.
+func NewImpression(cfg Config) *Impression {
+	return &Impression{cfg: cfg.withDefaults("impression")}
+}
+
+func (m *Impression) Name() string { return "impression" }
+
+// buildPool materializes the impression sample pool workers cycle over.
+func (m *Impression) buildPool() error {
+	if m.cfg.AvazuCSV != "" {
+		f, err := os.Open(m.cfg.AvazuCSV)
+		if err != nil {
+			return fmt.Errorf("loadgen: opening Avazu CSV: %w", err)
+		}
+		defer f.Close()
+		imps, err := dataset.ParseImpressions(f, m.cfg.PoolSize)
+		if err != nil {
+			return err
+		}
+		if len(imps) == 0 {
+			return fmt.Errorf("loadgen: Avazu CSV %q has no rows", m.cfg.AvazuCSV)
+		}
+		hasher, err := feature.NewHasher(m.cfg.HashDim)
+		if err != nil {
+			return err
+		}
+		m.xs = make([][]float64, len(imps))
+		m.vals = make([]float64, len(imps))
+		for i, im := range imps {
+			m.xs[i] = hasher.Encode(im.Fields)
+			// Real rows carry no ground-truth click probability; value a
+			// click as a full conversion and a miss as residual brand value.
+			if im.Click {
+				m.vals[i] = 1
+			} else {
+				m.vals[i] = 0.05
+			}
+		}
+		return nil
+	}
+	src, err := dataset.NewAvazuStream(dataset.AvazuConfig{
+		HashDim: m.cfg.HashDim, ActiveWeights: 21, Seed: m.cfg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	truth := src.Truth()
+	m.xs = make([][]float64, m.cfg.PoolSize)
+	m.vals = make([]float64, m.cfg.PoolSize)
+	for i := range m.xs {
+		_, x := src.Next()
+		m.xs[i] = x
+		m.vals[i] = 1 / (1 + math.Exp(-x.Dot(truth)))
+	}
+	return nil
+}
+
+func (m *Impression) Setup(ctx context.Context, c *client.Client) error {
+	m.c = c
+	if err := m.buildPool(); err != nil {
+		return err
+	}
+	m.streams = make([]string, m.cfg.Streams)
+	for i := range m.streams {
+		m.streams[i] = fmt.Sprintf("%s-%03d", m.cfg.Prefix, i)
+		err := ensureStream(ctx, c, api.CreateStreamRequest{
+			ID: m.streams[i], Family: "linear", Dim: m.cfg.HashDim,
+			Horizon: scenarioHorizon,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Impression) NewWorker(id int) (Worker, error) {
+	rng := randx.NewStream(m.cfg.Seed+0x1249, uint64(id))
+	return &impWorker{
+		wl:     m,
+		pick:   NewChooser(len(m.streams), m.cfg.Skew, rng),
+		cursor: rng.Intn(len(m.xs)),
+		rounds: make([]api.BatchPriceRound, m.cfg.Batch),
+		vals:   make([]float64, m.cfg.Batch),
+	}, nil
+}
+
+func (m *Impression) Summary(ctx context.Context) (*ScenarioSummary, error) {
+	return streamsSummary(ctx, m.c, m.streams)
+}
+
+type impWorker struct {
+	wl     *Impression
+	pick   *Chooser
+	cursor int
+	rounds []api.BatchPriceRound
+	vals   []float64
+}
+
+func (w *impWorker) Issue(ctx context.Context) (int, error) {
+	id := w.wl.streams[w.pick.Next()]
+	for k := range w.rounds {
+		i := w.cursor
+		w.cursor++
+		if w.cursor == len(w.wl.xs) {
+			w.cursor = 0
+		}
+		w.vals[k] = w.wl.vals[i]
+		w.rounds[k] = api.BatchPriceRound{Features: w.wl.xs[i], Valuation: &w.vals[k]}
+	}
+	results, err := w.wl.c.PriceBatch(ctx, id, w.rounds)
+	if err != nil {
+		return 0, err
+	}
+	units := 0
+	for _, r := range results {
+		if r.Error == "" {
+			units++
+		}
+	}
+	if failed := len(results) - units; failed > 0 {
+		return units, &codedError{code: "round_error",
+			msg: fmt.Sprintf("loadgen: %d/%d rounds failed in batch", failed, len(results))}
+	}
+	return units, nil
+}

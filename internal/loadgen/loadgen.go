@@ -1,0 +1,92 @@
+// Package loadgen is the scenario engine behind cmd/loadgen: it drives
+// a live brokerd entirely through the public SDK with traffic shaped by
+// the paper's evaluation datasets (§VI) — Airbnb accommodation pricing,
+// Avazu ad-impression CTR batches, MovieLens hosted-market trades, and
+// a mixed multi-family blend. Each scenario is a Workload that knows how
+// to provision its streams or markets, mint per-worker traffic sources,
+// and pull the server-side regret/revenue summary afterwards; the
+// drivers (OpenLoop, ClosedLoop) are workload-agnostic.
+//
+// Every scenario has a deterministic synthetic fallback built on the
+// internal/dataset generators, so the whole engine runs without any raw
+// CSV present — that is what `make loadgen-smoke` exercises in CI.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"datamarket/client"
+	"datamarket/internal/histo"
+)
+
+// Worker is one traffic source: Issue performs a single operation (one
+// SDK call, possibly carrying a batch) and reports how many work units
+// (rounds or trades) it completed. Workers are used by a single
+// goroutine at a time; anything shared across workers must be
+// concurrency-safe.
+type Worker interface {
+	Issue(ctx context.Context) (units int, err error)
+}
+
+// Workload is one scenario: Setup provisions server-side state through
+// the SDK, NewWorker mints deterministic per-worker traffic sources,
+// and Summary pulls the scenario's server-side outcome (stream regret
+// stats, market ledger totals) after the drivers finish.
+type Workload interface {
+	Name() string
+	Setup(ctx context.Context, c *client.Client) error
+	NewWorker(id int) (Worker, error)
+	Summary(ctx context.Context) (*ScenarioSummary, error)
+}
+
+// Outcome is what a driver run measured, client-side.
+type Outcome struct {
+	// Mode is "open" or "closed".
+	Mode string
+	// TargetRate is the open-loop schedule rate (ops/s); 0 for closed.
+	TargetRate float64
+	// Concurrency is the worker count (closed) or the outstanding-op
+	// bound (open).
+	Concurrency int
+	// Elapsed covers the full run including the drain of in-flight ops.
+	Elapsed time.Duration
+	// Issued counts operations dispatched; Dropped counts open-loop
+	// schedule slots abandoned because the outstanding bound was hit
+	// (never silently — they are the overload signal).
+	Issued  int64
+	Dropped int64
+	// Units counts completed work units (rounds/trades) across all ops.
+	Units int64
+	// Errors counts failed ops by api error code ("transport" for
+	// failures without one).
+	Errors map[string]int64
+	// Latency holds per-op latency in nanoseconds. Open-loop latencies
+	// are measured from the op's scheduled time, not its dispatch time,
+	// so queueing delay is charged to the server (the
+	// coordinated-omission guard).
+	Latency *histo.Histogram
+}
+
+// ErrorTotal sums the error counts.
+func (o *Outcome) ErrorTotal() int64 {
+	var n int64
+	for _, c := range o.Errors {
+		n += c
+	}
+	return n
+}
+
+// classify maps an Issue error to a counting key: a loadgen-assigned
+// code, the api error code, or "transport" for plain network failures.
+func classify(err error) string {
+	var ce *codedError
+	if errors.As(err, &ce) {
+		return ce.code
+	}
+	if code := client.ErrorCode(err); code != "" {
+		return string(code)
+	}
+	return "transport"
+}

@@ -1,0 +1,101 @@
+package loadgen
+
+import (
+	"context"
+	"io"
+
+	"datamarket/client"
+	"datamarket/internal/randx"
+)
+
+// Mixed is the multi-family scenario: accommodation, impression, and
+// ratings traffic interleaved from every worker, weighted toward the
+// pricing families (40/40/20). It is the closest shape to a production
+// broker hosting all three dataset families at once, and the scenario
+// that exercises stream pricing, batch pricing, and market trades
+// through one connection pool.
+type Mixed struct {
+	seed    uint64
+	subs    []Workload
+	weights []float64
+}
+
+// NewMixed builds the scenario over sub-scenarios namespaced under the
+// mixed prefix.
+func NewMixed(cfg Config) *Mixed {
+	cfg = cfg.withDefaults("mixed")
+	acc, imp, rat := cfg, cfg, cfg
+	acc.Prefix = cfg.Prefix + "-acc"
+	imp.Prefix = cfg.Prefix + "-imp"
+	rat.Prefix = cfg.Prefix + "-rat"
+	return &Mixed{
+		seed:    cfg.Seed,
+		subs:    []Workload{NewAccommodation(acc), NewImpression(imp), NewRatings(rat)},
+		weights: []float64{0.4, 0.4, 0.2},
+	}
+}
+
+func (m *Mixed) Name() string { return "mixed" }
+
+func (m *Mixed) Setup(ctx context.Context, c *client.Client) error {
+	for _, sub := range m.subs {
+		if err := sub.Setup(ctx, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Mixed) NewWorker(id int) (Worker, error) {
+	w := &mixedWorker{rng: randx.NewStream(m.seed+0x313d, uint64(id)), weights: m.weights}
+	for _, sub := range m.subs {
+		sw, err := sub.NewWorker(id)
+		if err != nil {
+			return nil, err
+		}
+		w.workers = append(w.workers, sw)
+	}
+	return w, nil
+}
+
+func (m *Mixed) Summary(ctx context.Context) (*ScenarioSummary, error) {
+	total := &ScenarioSummary{}
+	for _, sub := range m.subs {
+		s, err := sub.Summary(ctx)
+		if err != nil {
+			return nil, err
+		}
+		total.merge(s)
+	}
+	return total, nil
+}
+
+// Close closes any sub-scenario holding a flusher.
+func (m *Mixed) Close() error {
+	var first error
+	for _, sub := range m.subs {
+		if cl, ok := sub.(io.Closer); ok {
+			if err := cl.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+type mixedWorker struct {
+	rng     *randx.RNG
+	workers []Worker
+	weights []float64
+}
+
+func (w *mixedWorker) Issue(ctx context.Context) (int, error) {
+	u := w.rng.Float64()
+	for i, wt := range w.weights {
+		if u < wt || i == len(w.weights)-1 {
+			return w.workers[i].Issue(ctx)
+		}
+		u -= wt
+	}
+	return 0, nil // unreachable
+}

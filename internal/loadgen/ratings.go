@@ -1,0 +1,162 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+
+	"datamarket/api"
+	"datamarket/client"
+	"datamarket/internal/dataset"
+	"datamarket/internal/randx"
+)
+
+// Ratings is the MovieLens scenario (§V-A): the rating corpus's users
+// become the data owners of one hosted market (owner value = mean
+// rating, range = the 4.5-star scale span, tanh compensation
+// contracts), and workers issue sparse aggregation queries — Support
+// nonzero weights drawn by the skew chooser, so popular raters are
+// queried most — through /trade/batch. The market ledger afterwards
+// provides the revenue/compensation/profit summary.
+type Ratings struct {
+	cfg      Config
+	c        *client.Client
+	marketID string
+	owners   int
+}
+
+// NewRatings builds the scenario; Setup does the provisioning.
+func NewRatings(cfg Config) *Ratings {
+	return &Ratings{cfg: cfg.withDefaults("ratings")}
+}
+
+func (r *Ratings) Name() string { return "ratings" }
+
+func (r *Ratings) ratings() ([]dataset.Rating, error) {
+	if r.cfg.MovieLensCSV != "" {
+		f, err := os.Open(r.cfg.MovieLensCSV)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: opening MovieLens CSV: %w", err)
+		}
+		defer f.Close()
+		// Cap the read so a full 20M-row corpus doesn't stall setup; the
+		// owner population is what matters, not every rating.
+		return dataset.ParseRatings(f, r.cfg.Users*200)
+	}
+	return dataset.GenerateRatings(dataset.MovieLensConfig{
+		Users: r.cfg.Users, Movies: r.cfg.Movies, RatingsPerUser: 20, Seed: r.cfg.Seed,
+	})
+}
+
+func (r *Ratings) Setup(ctx context.Context, c *client.Client) error {
+	r.c = c
+	rs, err := r.ratings()
+	if err != nil {
+		return err
+	}
+	profiles := dataset.UserProfiles(rs)
+	if len(profiles) == 0 {
+		return fmt.Errorf("loadgen: ratings corpus yields no owners")
+	}
+	values, ranges := dataset.OwnerValues(profiles)
+	owners := make([]api.OwnerSpec, len(profiles))
+	for i := range owners {
+		owners[i] = api.OwnerSpec{
+			Value: values[i], Range: ranges[i],
+			Contract: api.ContractSpec{Type: "tanh", Rho: 1, Eta: 10},
+		}
+	}
+	r.owners = len(owners)
+	r.marketID = r.cfg.Prefix
+	return ensureMarket(ctx, c, api.CreateMarketRequest{
+		ID: r.marketID, Owners: owners, Seed: r.cfg.Seed,
+		Family: "linear", Horizon: scenarioHorizon,
+	})
+}
+
+func (r *Ratings) NewWorker(id int) (Worker, error) {
+	rng := randx.NewStream(r.cfg.Seed+0x2a71, uint64(id))
+	support := r.cfg.Support
+	if support > r.owners {
+		support = r.owners
+	}
+	w := &ratingsWorker{
+		wl:      r,
+		rng:     rng,
+		pick:    NewChooser(r.owners, r.cfg.Skew, rng),
+		support: support,
+		scratch: make(map[int]struct{}, support),
+		trades:  make([]api.TradeRequest, r.cfg.Batch),
+		weights: make([][]float64, r.cfg.Batch),
+		prev:    make([][]int, r.cfg.Batch),
+	}
+	for k := range w.weights {
+		w.weights[k] = make([]float64, r.owners)
+	}
+	return w, nil
+}
+
+func (r *Ratings) Summary(ctx context.Context) (*ScenarioSummary, error) {
+	ms, err := r.c.MarketStats(ctx, r.marketID)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: market stats for %q: %w", r.marketID, err)
+	}
+	s := &ScenarioSummary{
+		Rounds:             ms.Regret.Rounds,
+		CumulativeRegret:   ms.Regret.CumulativeRegret,
+		CumulativeValue:    ms.Regret.CumulativeValue,
+		CumulativeRevenue:  ms.Regret.CumulativeRevenue,
+		RegretRatio:        ms.Regret.RegretRatio,
+		Trades:             ms.Rounds,
+		Sold:               ms.Sold,
+		MarketRevenue:      ms.Revenue,
+		MarketCompensation: ms.Compensation,
+		MarketProfit:       ms.Profit,
+	}
+	return s, nil
+}
+
+type ratingsWorker struct {
+	wl      *Ratings
+	rng     *randx.RNG
+	pick    *Chooser
+	support int
+	scratch map[int]struct{}
+	trades  []api.TradeRequest
+	weights [][]float64
+	prev    [][]int // previous support per slot, zeroed before reuse
+}
+
+func (w *ratingsWorker) Issue(ctx context.Context) (int, error) {
+	for k := range w.trades {
+		wts := w.weights[k]
+		for _, i := range w.prev[k] {
+			wts[i] = 0
+		}
+		sup := w.pick.NextDistinct(w.support, w.scratch)
+		for _, i := range sup {
+			wts[i] = math.Abs(w.rng.Normal(0, 1))
+		}
+		w.prev[k] = sup
+		w.trades[k] = api.TradeRequest{
+			Weights: wts, NoiseVariance: 1,
+			Valuation: w.rng.Uniform(0, 5),
+		}
+	}
+	results, err := w.wl.c.TradeBatch(ctx, w.wl.marketID, w.trades)
+	if err != nil {
+		return 0, err
+	}
+	units := 0
+	for _, r := range results {
+		if r.Error == "" {
+			units++
+		}
+	}
+	if failed := len(results) - units; failed > 0 {
+		return units, &codedError{code: "trade_error",
+			msg: fmt.Sprintf("loadgen: %d/%d trades failed in batch", failed, len(results))}
+	}
+	return units, nil
+}

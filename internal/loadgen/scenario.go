@@ -1,0 +1,170 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+
+	"datamarket/api"
+	"datamarket/client"
+)
+
+// Config parameterizes the scenarios. The zero value plus a Seed is a
+// valid full-size configuration; withDefaults fills the rest. Every
+// scenario has a deterministic synthetic fallback, so the CSV paths are
+// optional everywhere.
+type Config struct {
+	// Seed drives every generator and worker RNG.
+	Seed uint64
+	// Prefix namespaces the stream/market IDs the scenario provisions.
+	Prefix string
+	// Skew is the popularity skew of the stream/owner choosers
+	// (0 = uniform, ~1 = Zipf-like; default 1).
+	Skew float64
+	// Batch is the rounds/trades carried per batched SDK call
+	// (default 64).
+	Batch int
+
+	// Listings sizes the accommodation table (default 2000).
+	Listings int
+	// AirbnbCSV optionally loads real listings (WriteListings schema)
+	// instead of the synthetic generator.
+	AirbnbCSV string
+
+	// Streams is the ad-impression stream fan-out (default 32).
+	Streams int
+	// HashDim is the hashed CTR feature dimension (default 128, §V-C).
+	HashDim int
+	// PoolSize is the pre-generated impression pool workers cycle
+	// through (default 4096).
+	PoolSize int
+	// AvazuCSV optionally loads real impressions (WriteImpressions
+	// schema).
+	AvazuCSV string
+
+	// Users and Movies size the ratings corpus (defaults 400/600); the
+	// users become the hosted market's data owners.
+	Users  int
+	Movies int
+	// Support is the number of nonzero weights per market query
+	// (default 16, the sparse-query shape).
+	Support int
+	// MovieLensCSV optionally loads real ratings (MovieLens schema).
+	MovieLensCSV string
+}
+
+func (c Config) withDefaults(name string) Config {
+	if c.Prefix == "" {
+		c.Prefix = name
+	}
+	if c.Skew == 0 {
+		c.Skew = 1
+	}
+	if c.Batch <= 0 {
+		c.Batch = 64
+	}
+	if c.Listings <= 0 {
+		c.Listings = 2000
+	}
+	if c.Streams <= 0 {
+		c.Streams = 32
+	}
+	if c.HashDim <= 0 {
+		c.HashDim = 128
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 4096
+	}
+	if c.Users <= 0 {
+		c.Users = 400
+	}
+	if c.Movies <= 0 {
+		c.Movies = 600
+	}
+	if c.Support <= 0 {
+		c.Support = 16
+	}
+	return c
+}
+
+// scenarioHorizon is the horizon T the scenarios provision streams and
+// markets with — large enough that the exploration schedule never runs
+// out mid-load-test.
+const scenarioHorizon = 10_000_000
+
+// ScenarioNames lists the scenarios in report order.
+var ScenarioNames = []string{"accommodation", "impression", "ratings", "mixed"}
+
+// ByName builds the named scenario.
+func ByName(name string, cfg Config) (Workload, error) {
+	switch name {
+	case "accommodation":
+		return NewAccommodation(cfg), nil
+	case "impression":
+		return NewImpression(cfg), nil
+	case "ratings":
+		return NewRatings(cfg), nil
+	case "mixed":
+		return NewMixed(cfg), nil
+	}
+	return nil, fmt.Errorf("loadgen: unknown scenario %q (want one of %v)", name, ScenarioNames)
+}
+
+// codedError carries a loadgen-assigned error-count key for failures
+// that are not SDK transport errors (e.g. per-round errors inside an
+// otherwise-successful batch response).
+type codedError struct {
+	code string
+	msg  string
+}
+
+func (e *codedError) Error() string { return e.msg }
+
+// ensureStream creates a stream, replacing any leftover with the same
+// ID from a previous run against a persistent broker.
+func ensureStream(ctx context.Context, c *client.Client, req api.CreateStreamRequest) error {
+	_, err := c.CreateStream(ctx, req)
+	if client.ErrorCode(err) == api.CodeStreamExists {
+		if err = c.DeleteStream(ctx, req.ID, true); err != nil {
+			return fmt.Errorf("loadgen: replacing stream %q: %w", req.ID, err)
+		}
+		_, err = c.CreateStream(ctx, req)
+	}
+	if err != nil {
+		return fmt.Errorf("loadgen: creating stream %q: %w", req.ID, err)
+	}
+	return nil
+}
+
+// ensureMarket creates a market, replacing any leftover with the same ID.
+func ensureMarket(ctx context.Context, c *client.Client, req api.CreateMarketRequest) error {
+	_, err := c.CreateMarket(ctx, req)
+	if client.ErrorCode(err) == api.CodeMarketExists {
+		if err = c.DeleteMarket(ctx, req.ID); err != nil {
+			return fmt.Errorf("loadgen: replacing market %q: %w", req.ID, err)
+		}
+		_, err = c.CreateMarket(ctx, req)
+	}
+	if err != nil {
+		return fmt.Errorf("loadgen: creating market %q: %w", req.ID, err)
+	}
+	return nil
+}
+
+// streamsSummary aggregates regret stats across a scenario's streams.
+func streamsSummary(ctx context.Context, c *client.Client, ids []string) (*ScenarioSummary, error) {
+	s := &ScenarioSummary{Streams: len(ids)}
+	for _, id := range ids {
+		st, err := c.Stats(ctx, id)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: stats for %q: %w", id, err)
+		}
+		s.Rounds += st.Regret.Rounds
+		s.CumulativeRegret += st.Regret.CumulativeRegret
+		s.CumulativeValue += st.Regret.CumulativeValue
+		s.CumulativeRevenue += st.Regret.CumulativeRevenue
+	}
+	if s.CumulativeValue > 0 {
+		s.RegretRatio = round3(s.CumulativeRegret / s.CumulativeValue)
+	}
+	return s, nil
+}

@@ -1,0 +1,82 @@
+package loadgen
+
+import (
+	"math"
+	"sort"
+
+	"datamarket/internal/randx"
+)
+
+// Chooser draws indices in [0, n) with configurable popularity skew:
+// skew 0 is uniform; skew s > 0 is Zipf-like with P(rank r) ∝ 1/(r+1)^s
+// (s ≈ 1 matches the stream/owner popularity of real ad logs and rating
+// corpora). Draws are deterministic given the RNG. Not concurrency-safe;
+// give each worker its own Chooser.
+type Chooser struct {
+	rng *randx.RNG
+	n   int
+	cdf []float64 // nil for uniform
+}
+
+// NewChooser builds a chooser over n keys. It panics if n <= 0 (a
+// programming error in the workload, not load-dependent).
+func NewChooser(n int, skew float64, rng *randx.RNG) *Chooser {
+	if n <= 0 {
+		panic("loadgen: Chooser over empty key space")
+	}
+	c := &Chooser{rng: rng, n: n}
+	if skew <= 0 {
+		return c
+	}
+	c.cdf = make([]float64, n)
+	var total float64
+	for r := 0; r < n; r++ {
+		total += 1 / math.Pow(float64(r+1), skew)
+		c.cdf[r] = total
+	}
+	for r := range c.cdf {
+		c.cdf[r] /= total
+	}
+	return c
+}
+
+// Next draws one index.
+func (c *Chooser) Next() int {
+	if c.cdf == nil {
+		return c.rng.Intn(c.n)
+	}
+	u := c.rng.Float64()
+	i := sort.SearchFloat64s(c.cdf, u)
+	if i >= c.n {
+		i = c.n - 1
+	}
+	return i
+}
+
+// NextDistinct draws k distinct indices (k ≤ n), preserving the skew of
+// the underlying distribution among the chosen keys.
+func (c *Chooser) NextDistinct(k int, scratch map[int]struct{}) []int {
+	if k > c.n {
+		k = c.n
+	}
+	for key := range scratch {
+		delete(scratch, key)
+	}
+	out := make([]int, 0, k)
+	// Rejection-sample first; if the skew is so heavy that collisions
+	// dominate, fall back to a linear sweep from a drawn start.
+	for attempts := 0; len(out) < k && attempts < 10*k; attempts++ {
+		i := c.Next()
+		if _, dup := scratch[i]; !dup {
+			scratch[i] = struct{}{}
+			out = append(out, i)
+		}
+	}
+	for i := c.Next(); len(out) < k; i = (i + 1) % c.n {
+		if _, dup := scratch[i]; !dup {
+			scratch[i] = struct{}{}
+			out = append(out, i)
+		}
+	}
+	return out
+}

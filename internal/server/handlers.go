@@ -32,6 +32,7 @@ type Server struct {
 	reg       *Registry
 	markets   *MarketRegistry
 	persister *Persister
+	metrics   *requestMetrics
 }
 
 // NewServer wraps a registry (nil builds a fresh default registry) and
@@ -40,7 +41,7 @@ func NewServer(reg *Registry) *Server {
 	if reg == nil {
 		reg = NewRegistry(0)
 	}
-	return &Server{reg: reg, markets: NewMarketRegistry()}
+	return &Server{reg: reg, markets: NewMarketRegistry(), metrics: newRequestMetrics()}
 }
 
 // Registry exposes the underlying registry (for embedding brokerd in
@@ -83,7 +84,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/markets/{id}/stats", s.handleMarketStats)
 	mux.HandleFunc("POST /v1/admin/checkpoint", s.handleAdminCheckpoint)
 	mux.HandleFunc("GET /v1/admin/store", s.handleAdminStore)
-	return withAPIHeaders(mux)
+	mux.HandleFunc("GET /v1/admin/metrics", s.handleMetrics)
+	return withAPIHeaders(withMetrics(s.metrics, mux))
 }
 
 // handleVersion reports the wire contract version and build info so

@@ -27,6 +27,9 @@ type (
 	VersionResponse        = api.VersionResponse
 	CheckpointResponse     = api.CheckpointResponse
 	StoreStatusResponse    = api.StoreStatusResponse
+	MetricsResponse        = api.MetricsResponse
+	EndpointMetrics        = api.EndpointMetrics
+	MetricsBucket          = api.MetricsBucket
 	ErrorResponse          = api.ErrorResponse
 
 	CreateMarketRequest = api.CreateMarketRequest
